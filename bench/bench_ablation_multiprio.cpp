@@ -1,0 +1,102 @@
+// Ablation study of MultiPrio's design choices (DESIGN.md §6): eviction,
+// locality window, NOD tiebreaker, best_remaining_work normalization, and a
+// sweep of the locality hyper-parameters n and ε (paper defaults n = 10,
+// ε = 0.8). Run on a dense Cholesky (regular) and an FMM (irregular) DAG.
+#include <cstdio>
+
+#include "apps/dense/dense_builders.hpp"
+#include "apps/fmm/dag_builder.hpp"
+#include "bench_util.hpp"
+#include "core/multiprio.hpp"
+
+namespace {
+
+using namespace mp;
+using namespace mp::bench;
+
+TaskGraph make_cholesky(std::size_t tiles, std::size_t nb) {
+  TaskGraph g;
+  dense::TileMatrix a(tiles, nb, false);
+  a.register_handles(g);
+  dense::build_potrf(g, a, false);
+  return g;
+}
+
+double run_cfg(const TaskGraph& g, const PlatformPreset& preset, MultiPrioConfig cfg) {
+  SimEngine engine(g, preset.platform, preset.perf);
+  const SimResult r = engine.run([cfg](SchedContext ctx) {
+    return std::make_unique<MultiPrioScheduler>(std::move(ctx), cfg);
+  });
+  return r.makespan;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = full_mode(argc, argv);
+  const PlatformPreset preset = intel_v100();
+
+  const TaskGraph chol = make_cholesky(full ? 32 : 20, 960);
+  auto parts = fmm::clustered_sphere(full ? 300000 : 100000, 99);
+  fmm::Octree tree(std::move(parts), {5, 64, false});
+  TaskGraph fmm_graph;
+  (void)fmm::build_fmm(fmm_graph, tree);
+
+  struct Variant {
+    const char* name;
+    MultiPrioConfig cfg;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"full (paper)", MultiPrioConfig{}});
+  {
+    MultiPrioConfig c;
+    c.use_eviction = false;
+    variants.push_back({"no eviction", c});
+  }
+  {
+    MultiPrioConfig c;
+    c.use_locality = false;
+    variants.push_back({"no locality", c});
+  }
+  {
+    MultiPrioConfig c;
+    c.use_nod = false;
+    variants.push_back({"no NOD tiebreak", c});
+  }
+  {
+    MultiPrioConfig c;
+    c.normalize_brw_by_workers = false;
+    variants.push_back({"raw brw (paper literal)", c});
+  }
+
+  std::printf("MultiPrio ablations on %s\n\n", preset.name.c_str());
+  Table t({"variant", "cholesky makespan (s)", "fmm makespan (s)"});
+  double base_c = 0.0;
+  double base_f = 0.0;
+  for (const Variant& v : variants) {
+    const double mc = run_cfg(chol, preset, v.cfg);
+    const double mf = run_cfg(fmm_graph, preset, v.cfg);
+    if (base_c == 0.0) {
+      base_c = mc;
+      base_f = mf;
+    }
+    t.add_row({v.name, fmt_double(mc, 4) + " (" + fmt_percent(mc / base_c - 1.0) + ")",
+               fmt_double(mf, 4) + " (" + fmt_percent(mf / base_f - 1.0) + ")"});
+  }
+  std::printf("%s\n", t.to_ascii().c_str());
+
+  std::printf("locality window sweep (cholesky / fmm makespans, s)\n");
+  Table sweep({"n", "eps", "cholesky", "fmm"});
+  for (std::size_t n : {std::size_t{1}, std::size_t{5}, std::size_t{10}, std::size_t{40}}) {
+    for (double eps : {0.1, 0.8}) {
+      MultiPrioConfig c;
+      c.locality_n = n;
+      c.epsilon = eps;
+      sweep.add_row({std::to_string(n), fmt_double(eps, 1),
+                     fmt_double(run_cfg(chol, preset, c), 4),
+                     fmt_double(run_cfg(fmm_graph, preset, c), 4)});
+    }
+  }
+  std::printf("%s", sweep.to_ascii().c_str());
+  return 0;
+}

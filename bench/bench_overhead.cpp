@@ -1,0 +1,111 @@
+// Scheduler-overhead microbenchmarks (google-benchmark): cost of the
+// ScoredHeap operations and of each policy's PUSH/POP on a heterogeneous
+// node — the "cheap and effective" claim the MultiPrio design inherits from
+// HeteroPrio is quantified here.
+#include <benchmark/benchmark.h>
+
+#include "core/multiprio.hpp"
+#include "core/scored_heap.hpp"
+#include "common/rng.hpp"
+#include "sched/schedulers.hpp"
+#include "sim/platform_presets.hpp"
+
+namespace {
+
+using namespace mp;
+
+void BM_HeapInsertPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<std::pair<double, double>> scores(n);
+  for (auto& s : scores) s = {rng.next_double(), rng.next_double()};
+  for (auto _ : state) {
+    ScoredHeap h;
+    for (std::size_t i = 0; i < n; ++i) h.insert(TaskId{i}, scores[i].first, scores[i].second);
+    while (!h.empty()) h.pop_top();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n));
+}
+BENCHMARK(BM_HeapInsertPop)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_HeapTopKScan(benchmark::State& state) {
+  const std::size_t n = 16384;
+  const auto k = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  ScoredHeap h;
+  for (std::size_t i = 0; i < n; ++i) h.insert(TaskId{i}, rng.next_double(), 0.0);
+  for (auto _ : state) {
+    std::size_t seen = 0;
+    h.for_top([&](const HeapEntry& e) {
+      benchmark::DoNotOptimize(e.gain);
+      return ++seen < k;
+    });
+  }
+}
+BENCHMARK(BM_HeapTopKScan)->Arg(10)->Arg(100);
+
+struct SchedWorld {
+  TaskGraph graph;
+  PlatformPreset preset = intel_v100();
+  PerfDatabase& perf = preset.perf;
+  std::unique_ptr<HistoryModel> history;
+  std::unique_ptr<MemoryManager> memory;
+  std::vector<TaskId> tasks;
+
+  explicit SchedWorld(std::size_t n_tasks) {
+    const CodeletId cl = graph.add_codelet("gemm", {ArchType::CPU, ArchType::GPU});
+    Rng rng(3);
+    for (std::size_t i = 0; i < n_tasks; ++i) {
+      const DataId d = graph.add_data(1024 * (1 + rng.next_in(0, 64)));
+      SubmitOptions o;
+      o.flops = 1e6 * static_cast<double>(1 + rng.next_in(0, 1000));
+      tasks.push_back(graph.submit(cl, {Access{d, AccessMode::ReadWrite}}, o));
+    }
+    history = std::make_unique<HistoryModel>(graph, perf);
+    history->seed_from_truth();
+    memory = std::make_unique<MemoryManager>(graph, preset.platform);
+  }
+
+  SchedContext ctx() {
+    SchedContext c;
+    c.graph = &graph;
+    c.platform = &preset.platform;
+    c.perf = history.get();
+    c.memory = memory.get();
+    c.now = [] { return 0.0; };
+    return c;
+  }
+};
+
+void bench_policy(benchmark::State& state, const std::string& name) {
+  SchedWorld world(4096);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto sched = make_scheduler_by_name(name, world.ctx());
+    state.ResumeTiming();
+    for (TaskId t : world.tasks) sched->push(t);
+    std::size_t popped = 0;
+    std::size_t wi = 0;
+    const std::size_t nw = world.preset.platform.num_workers();
+    while (popped < world.tasks.size()) {
+      if (sched->pop(WorkerId{wi}).has_value()) ++popped;
+      wi = (wi + 1) % nw;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(world.tasks.size()));
+}
+
+void BM_PushPopMultiPrio(benchmark::State& state) { bench_policy(state, "multiprio"); }
+void BM_PushPopDmdas(benchmark::State& state) { bench_policy(state, "dmdas"); }
+void BM_PushPopHeteroPrio(benchmark::State& state) { bench_policy(state, "heteroprio"); }
+void BM_PushPopEager(benchmark::State& state) { bench_policy(state, "eager"); }
+BENCHMARK(BM_PushPopMultiPrio);
+BENCHMARK(BM_PushPopDmdas);
+BENCHMARK(BM_PushPopHeteroPrio);
+BENCHMARK(BM_PushPopEager);
+
+}  // namespace
+
+BENCHMARK_MAIN();

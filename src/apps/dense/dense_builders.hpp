@@ -1,0 +1,44 @@
+// Tiled dense factorization DAG builders (the paper's Chameleon workloads):
+// Cholesky (potrf), LU without pivoting (getrf) and QR (geqrf).
+//
+// Each builder registers the codelets (with real CPU kernels when the
+// matrix is allocated), submits the tasks in STF order, and — with
+// `expert_priorities` — assigns flop-weighted critical-path priorities,
+// playing the role of Chameleon's offline expert priorities used by Dmdas.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "apps/dense/tile_matrix.hpp"
+#include "runtime/task_graph.hpp"
+
+namespace mp::dense {
+
+/// Auxiliary storage kept alive for the duration of a run (QR tau tiles).
+struct DenseAux {
+  std::vector<std::vector<double>> buffers;
+};
+
+/// Tiled Cholesky A = L·Lᵀ (lower). Matrix handles must be registered.
+void build_potrf(TaskGraph& graph, TileMatrix& a, bool expert_priorities);
+
+/// Tiled LU without pivoting A = L·U.
+void build_getrf(TaskGraph& graph, TileMatrix& a, bool expert_priorities);
+
+/// Tiled QR A = Q·R. Returns the tau workspace (must outlive execution when
+/// running with real kernels).
+[[nodiscard]] std::unique_ptr<DenseAux> build_geqrf(TaskGraph& graph, TileMatrix& a,
+                                                    bool expert_priorities);
+
+/// Flop-weighted critical-path priorities for every submitted task
+/// (scaled upward ranks). Called by the builders; exposed for other apps.
+void assign_expert_priorities(TaskGraph& graph);
+
+/// Total algorithmic flops of each factorization on an n×n matrix (for
+/// GFlop/s normalization, matching the paper's plots).
+[[nodiscard]] double potrf_total_flops(std::size_t n);
+[[nodiscard]] double getrf_total_flops(std::size_t n);
+[[nodiscard]] double geqrf_total_flops(std::size_t n);
+
+}  // namespace mp::dense

@@ -1,0 +1,125 @@
+#include "apps/dense/reference.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace mp::dense::ref {
+
+void cholesky(std::vector<double>& a, std::size_t n) {
+  MP_CHECK(a.size() == n * n);
+  for (std::size_t k = 0; k < n; ++k) {
+    MP_CHECK_MSG(a[k * n + k] > 0.0, "reference cholesky: not SPD");
+    const double d = std::sqrt(a[k * n + k]);
+    a[k * n + k] = d;
+    for (std::size_t i = k + 1; i < n; ++i) a[k * n + i] /= d;
+    for (std::size_t j = k + 1; j < n; ++j) {
+      const double ljk = a[k * n + j];
+      for (std::size_t i = j; i < n; ++i) a[j * n + i] -= a[k * n + i] * ljk;
+    }
+  }
+}
+
+void lu_nopiv(std::vector<double>& a, std::size_t n) {
+  MP_CHECK(a.size() == n * n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double pivot = a[k * n + k];
+    MP_CHECK_MSG(pivot != 0.0, "reference lu: zero pivot");
+    for (std::size_t i = k + 1; i < n; ++i) a[k * n + i] /= pivot;
+    for (std::size_t j = k + 1; j < n; ++j) {
+      const double akj = a[j * n + k];
+      for (std::size_t i = k + 1; i < n; ++i) a[j * n + i] -= a[k * n + i] * akj;
+    }
+  }
+}
+
+void qr(std::vector<double>& a, std::vector<double>& tau, std::size_t n) {
+  MP_CHECK(a.size() == n * n);
+  tau.assign(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    double xnorm2 = 0.0;
+    for (std::size_t i = k + 1; i < n; ++i) xnorm2 += a[k * n + i] * a[k * n + i];
+    if (xnorm2 == 0.0) continue;
+    const double alpha = a[k * n + k];
+    const double beta = -std::copysign(std::sqrt(alpha * alpha + xnorm2), alpha);
+    tau[k] = (beta - alpha) / beta;
+    const double scale = 1.0 / (alpha - beta);
+    for (std::size_t i = k + 1; i < n; ++i) a[k * n + i] *= scale;
+    a[k * n + k] = beta;
+    for (std::size_t j = k + 1; j < n; ++j) {
+      double w = a[j * n + k];
+      for (std::size_t i = k + 1; i < n; ++i) w += a[k * n + i] * a[j * n + i];
+      w *= tau[k];
+      a[j * n + k] -= w;
+      for (std::size_t i = k + 1; i < n; ++i) a[j * n + i] -= a[k * n + i] * w;
+    }
+  }
+}
+
+std::vector<double> matmul(const std::vector<double>& a, const std::vector<double>& b,
+                           std::size_t n) {
+  std::vector<double> c(n * n, 0.0);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t k = 0; k < n; ++k) {
+      const double bkj = b[j * n + k];
+      for (std::size_t i = 0; i < n; ++i) c[j * n + i] += a[k * n + i] * bkj;
+    }
+  return c;
+}
+
+std::vector<double> matmul_nt(const std::vector<double>& a, const std::vector<double>& b,
+                              std::size_t n) {
+  std::vector<double> c(n * n, 0.0);
+  for (std::size_t k = 0; k < n; ++k)
+    for (std::size_t j = 0; j < n; ++j) {
+      const double bjk = b[k * n + j];
+      for (std::size_t i = 0; i < n; ++i) c[j * n + i] += a[k * n + i] * bjk;
+    }
+  return c;
+}
+
+std::vector<double> matmul_tn(const std::vector<double>& a, const std::vector<double>& b,
+                              std::size_t n) {
+  std::vector<double> c(n * n, 0.0);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < n; ++i) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < n; ++k) s += a[i * n + k] * b[j * n + k];
+      c[j * n + i] = s;
+    }
+  return c;
+}
+
+double fro_norm(const std::vector<double>& a) {
+  double s = 0.0;
+  for (double v : a) s += v * v;
+  return std::sqrt(s);
+}
+
+double fro_diff(const std::vector<double>& a, const std::vector<double>& b) {
+  MP_CHECK(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+std::vector<double> lower(const std::vector<double>& a, std::size_t n, bool unit_diag) {
+  std::vector<double> l(n * n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = j + 1; i < n; ++i) l[j * n + i] = a[j * n + i];
+    l[j * n + j] = unit_diag ? 1.0 : a[j * n + j];
+  }
+  return l;
+}
+
+std::vector<double> upper(const std::vector<double>& a, std::size_t n) {
+  std::vector<double> u(n * n, 0.0);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i <= j; ++i) u[j * n + i] = a[j * n + i];
+  return u;
+}
+
+}  // namespace mp::dense::ref

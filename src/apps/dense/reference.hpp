@@ -1,0 +1,38 @@
+// Full-matrix reference algorithms used to validate the tiled versions.
+// All matrices are n×n column-major.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mp::dense::ref {
+
+/// In-place lower Cholesky.
+void cholesky(std::vector<double>& a, std::size_t n);
+
+/// In-place LU without pivoting (unit lower / upper).
+void lu_nopiv(std::vector<double>& a, std::size_t n);
+
+/// In-place Householder QR: R in the upper triangle, V below, tau out.
+void qr(std::vector<double>& a, std::vector<double>& tau, std::size_t n);
+
+/// C := A·B.
+[[nodiscard]] std::vector<double> matmul(const std::vector<double>& a,
+                                         const std::vector<double>& b, std::size_t n);
+
+/// C := A·Bᵀ / AᵀB.
+[[nodiscard]] std::vector<double> matmul_nt(const std::vector<double>& a,
+                                            const std::vector<double>& b, std::size_t n);
+[[nodiscard]] std::vector<double> matmul_tn(const std::vector<double>& a,
+                                            const std::vector<double>& b, std::size_t n);
+
+/// Frobenius norm of A and of A−B.
+[[nodiscard]] double fro_norm(const std::vector<double>& a);
+[[nodiscard]] double fro_diff(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Extracts L (unit or not) / U / R factors from packed storage.
+[[nodiscard]] std::vector<double> lower(const std::vector<double>& a, std::size_t n,
+                                        bool unit_diag);
+[[nodiscard]] std::vector<double> upper(const std::vector<double>& a, std::size_t n);
+
+}  // namespace mp::dense::ref

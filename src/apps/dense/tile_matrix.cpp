@@ -1,0 +1,98 @@
+#include "apps/dense/tile_matrix.hpp"
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace mp::dense {
+
+TileMatrix::TileMatrix(std::size_t tiles, std::size_t nb, bool allocate)
+    : t_(tiles), nb_(nb) {
+  MP_CHECK(tiles > 0 && nb > 0);
+  if (allocate) storage_.assign(t_ * t_ * nb_ * nb_, 0.0);
+}
+
+double* TileMatrix::tile(std::size_t i, std::size_t j) {
+  MP_CHECK(allocated() && i < t_ && j < t_);
+  return storage_.data() + (j * t_ + i) * nb_ * nb_;
+}
+
+const double* TileMatrix::tile(std::size_t i, std::size_t j) const {
+  MP_CHECK(allocated() && i < t_ && j < t_);
+  return storage_.data() + (j * t_ + i) * nb_ * nb_;
+}
+
+void TileMatrix::register_handles(TaskGraph& graph) {
+  MP_CHECK_MSG(handles_.empty(), "handles already registered");
+  handles_.reserve(t_ * t_);
+  for (std::size_t j = 0; j < t_; ++j) {
+    for (std::size_t i = 0; i < t_; ++i) {
+      void* ptr = allocated() ? static_cast<void*>(tile(i, j)) : nullptr;
+      handles_.push_back(graph.add_data(
+          tile_bytes(), ptr, "A(" + std::to_string(i) + "," + std::to_string(j) + ")"));
+    }
+  }
+}
+
+DataId TileMatrix::handle(std::size_t i, std::size_t j) const {
+  MP_CHECK(!handles_.empty() && i < t_ && j < t_);
+  return handles_[j * t_ + i];
+}
+
+void TileMatrix::fill_random(std::uint64_t seed) {
+  MP_CHECK(allocated());
+  Rng rng(seed);
+  for (double& v : storage_) v = rng.next_real(-1.0, 1.0);
+}
+
+void TileMatrix::fill_spd(std::uint64_t seed) {
+  fill_random(seed);
+  // Symmetrize and shift: A := (A + Aᵀ)/2 + n·I.
+  const std::size_t n = this->n();
+  std::vector<double> full = to_full();
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < j; ++i) {
+      const double s = 0.5 * (full[j * n + i] + full[i * n + j]);
+      full[j * n + i] = s;
+      full[i * n + j] = s;
+    }
+    full[j * n + j] += static_cast<double>(n);
+  }
+  from_full(full);
+}
+
+void TileMatrix::fill_diag_dominant(std::uint64_t seed) {
+  fill_random(seed);
+  const std::size_t n = this->n();
+  std::vector<double> full = to_full();
+  for (std::size_t j = 0; j < n; ++j) full[j * n + j] += static_cast<double>(n);
+  from_full(full);
+}
+
+std::vector<double> TileMatrix::to_full() const {
+  MP_CHECK(allocated());
+  const std::size_t n = this->n();
+  std::vector<double> full(n * n);
+  for (std::size_t tj = 0; tj < t_; ++tj)
+    for (std::size_t ti = 0; ti < t_; ++ti) {
+      const double* src = tile(ti, tj);
+      for (std::size_t j = 0; j < nb_; ++j)
+        for (std::size_t i = 0; i < nb_; ++i)
+          full[(tj * nb_ + j) * n + ti * nb_ + i] = src[j * nb_ + i];
+    }
+  return full;
+}
+
+void TileMatrix::from_full(const std::vector<double>& full) {
+  MP_CHECK(allocated());
+  const std::size_t n = this->n();
+  MP_CHECK(full.size() == n * n);
+  for (std::size_t tj = 0; tj < t_; ++tj)
+    for (std::size_t ti = 0; ti < t_; ++ti) {
+      double* dst = tile(ti, tj);
+      for (std::size_t j = 0; j < nb_; ++j)
+        for (std::size_t i = 0; i < nb_; ++i)
+          dst[j * nb_ + i] = full[(tj * nb_ + j) * n + ti * nb_ + i];
+    }
+}
+
+}  // namespace mp::dense

@@ -1,0 +1,53 @@
+// TileMatrix: a T×T grid of nb×nb column-major tiles with one runtime data
+// handle per tile — the storage layout of Chameleon/PLASMA workloads.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "runtime/task_graph.hpp"
+
+namespace mp::dense {
+
+class TileMatrix {
+ public:
+  /// `allocate == false` builds a metadata-only matrix for simulation
+  /// workloads (handles sized correctly, no storage).
+  TileMatrix(std::size_t tiles, std::size_t nb, bool allocate);
+
+  [[nodiscard]] std::size_t tiles() const { return t_; }
+  [[nodiscard]] std::size_t nb() const { return nb_; }
+  [[nodiscard]] std::size_t n() const { return t_ * nb_; }
+  [[nodiscard]] bool allocated() const { return !storage_.empty(); }
+  [[nodiscard]] std::size_t tile_bytes() const { return nb_ * nb_ * sizeof(double); }
+
+  [[nodiscard]] double* tile(std::size_t i, std::size_t j);
+  [[nodiscard]] const double* tile(std::size_t i, std::size_t j) const;
+
+  /// Registers one handle per tile in the graph (must be called once).
+  void register_handles(TaskGraph& graph);
+  [[nodiscard]] DataId handle(std::size_t i, std::size_t j) const;
+
+  // --- fills (require storage) ---------------------------------------------
+
+  /// Random entries in [-1, 1).
+  void fill_random(std::uint64_t seed);
+  /// Symmetric positive definite: random symmetric + n·I on the diagonal.
+  void fill_spd(std::uint64_t seed);
+  /// Diagonally dominant (safe for LU without pivoting).
+  void fill_diag_dominant(std::uint64_t seed);
+
+  /// Copies into a full n×n column-major matrix.
+  [[nodiscard]] std::vector<double> to_full() const;
+  /// Loads from a full n×n column-major matrix.
+  void from_full(const std::vector<double>& full);
+
+ private:
+  std::size_t t_;
+  std::size_t nb_;
+  std::vector<double> storage_;
+  std::vector<DataId> handles_;
+};
+
+}  // namespace mp::dense

@@ -1,0 +1,50 @@
+// STF DAG builder for the task-based FMM (the paper's TBFMM workload).
+//
+// Task set per FMM pass: P2M per leaf group, M2M up the tree, M2L per
+// (level, target-group, source-group) pair, L2L down the tree, L2P and P2P
+// at the leaves. P2P and M2L carry CPU+GPU implementations (TBFMM's GPU
+// kernels); the tree transfer operators are CPU-only. No user priorities —
+// exactly the paper's FMM setting.
+//
+// Note on access modes: TBFMM/StarPU use commutative writes for the M2L and
+// P2P accumulations; this runtime serializes them through ReadWrite chains,
+// identically for every scheduler under comparison (documented in DESIGN.md).
+#pragma once
+
+#include <memory>
+
+#include "apps/fmm/octree.hpp"
+#include "runtime/task_graph.hpp"
+
+namespace mp::fmm {
+
+struct FmmBuildStats {
+  std::size_t p2m = 0;
+  std::size_t m2m = 0;
+  std::size_t m2l = 0;
+  std::size_t l2l = 0;
+  std::size_t l2p = 0;
+  std::size_t p2p = 0;
+  [[nodiscard]] std::size_t total() const { return p2m + m2m + m2l + l2l + l2p + p2p; }
+};
+
+struct FmmBuildOptions {
+  /// Submit the M2L local and P2P potential accumulations with
+  /// AccessMode::Commute, as TBFMM does on StarPU (STARPU_COMMUTE): the
+  /// updates carry no ordering edges and the engines enforce per-handle
+  /// mutual exclusion. OFF by default here: our simulator grants commute
+  /// handles in pop order (a worker that popped a blocked commuter waits),
+  /// which is more conservative than StarPU's arbitered locks and makes
+  /// ReadWrite chains the faster encoding on this engine — see
+  /// test_commute.cpp and DESIGN.md.
+  bool commute_accumulations = false;
+};
+
+/// Builds the FMM DAG over `tree` (handles are registered here). The octree
+/// must outlive any real execution of the graph.
+FmmBuildStats build_fmm(TaskGraph& graph, Octree& tree, FmmBuildOptions opts = {});
+
+/// Convenience: full real FMM pass executed serially (reference for tests).
+void run_fmm_serial(Octree& tree);
+
+}  // namespace mp::fmm

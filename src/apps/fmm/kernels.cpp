@@ -1,0 +1,121 @@
+#include "apps/fmm/kernels.hpp"
+
+#include <cmath>
+
+namespace mp::fmm {
+
+void p2m(std::span<const Particle> parts, Vec3 center, Multipole& out) {
+  for (const Particle& p : parts) {
+    const double ax = p.x - center.x;
+    const double ay = p.y - center.y;
+    const double az = p.z - center.z;
+    out.q += p.q;
+    out.d[0] += p.q * ax;
+    out.d[1] += p.q * ay;
+    out.d[2] += p.q * az;
+    out.quad[0] += p.q * ax * ax;
+    out.quad[1] += p.q * ay * ay;
+    out.quad[2] += p.q * az * az;
+    out.quad[3] += p.q * ax * ay;
+    out.quad[4] += p.q * ax * az;
+    out.quad[5] += p.q * ay * az;
+  }
+}
+
+void m2m(const Multipole& child, Vec3 child_center, Vec3 parent_center,
+         Multipole& parent) {
+  const double sx = child_center.x - parent_center.x;
+  const double sy = child_center.y - parent_center.y;
+  const double sz = child_center.z - parent_center.z;
+  parent.q += child.q;
+  parent.d[0] += child.d[0] + child.q * sx;
+  parent.d[1] += child.d[1] + child.q * sy;
+  parent.d[2] += child.d[2] + child.q * sz;
+  parent.quad[0] += child.quad[0] + 2.0 * child.d[0] * sx + child.q * sx * sx;
+  parent.quad[1] += child.quad[1] + 2.0 * child.d[1] * sy + child.q * sy * sy;
+  parent.quad[2] += child.quad[2] + 2.0 * child.d[2] * sz + child.q * sz * sz;
+  parent.quad[3] += child.quad[3] + child.d[0] * sy + child.d[1] * sx + child.q * sx * sy;
+  parent.quad[4] += child.quad[4] + child.d[0] * sz + child.d[2] * sx + child.q * sx * sz;
+  parent.quad[5] += child.quad[5] + child.d[1] * sz + child.d[2] * sy + child.q * sy * sz;
+}
+
+void m2l(const Multipole& m, Vec3 m_center, Vec3 l_center, LocalExp& out) {
+  const double rx = l_center.x - m_center.x;
+  const double ry = l_center.y - m_center.y;
+  const double rz = l_center.z - m_center.z;
+  const double r2 = rx * rx + ry * ry + rz * rz;
+  const double r = std::sqrt(r2);
+  const double inv_r = 1.0 / r;
+  const double inv_r3 = inv_r / r2;
+  const double inv_r5 = inv_r3 / r2;
+  const double inv_r7 = inv_r5 / r2;
+
+  const double dR = m.d[0] * rx + m.d[1] * ry + m.d[2] * rz;
+  // (Q·R) with symmetric Q stored as xx, yy, zz, xy, xz, yz.
+  const double qr_x = m.quad[0] * rx + m.quad[3] * ry + m.quad[4] * rz;
+  const double qr_y = m.quad[3] * rx + m.quad[1] * ry + m.quad[5] * rz;
+  const double qr_z = m.quad[4] * rx + m.quad[5] * ry + m.quad[2] * rz;
+  const double rqr = rx * qr_x + ry * qr_y + rz * qr_z;
+  const double tr = m.quad[0] + m.quad[1] + m.quad[2];
+
+  out.l0 += m.q * inv_r + dR * inv_r3 + 0.5 * (3.0 * rqr - tr * r2) * inv_r5;
+
+  const double mono = -m.q * inv_r3;
+  const double dip_r = -3.0 * dR * inv_r5;
+  const double quad_r = -2.5 * (3.0 * rqr - tr * r2) * inv_r7;
+  out.l1[0] += mono * rx + m.d[0] * inv_r3 + dip_r * rx +
+               (3.0 * qr_x - tr * rx) * inv_r5 + quad_r * rx;
+  out.l1[1] += mono * ry + m.d[1] * inv_r3 + dip_r * ry +
+               (3.0 * qr_y - tr * ry) * inv_r5 + quad_r * ry;
+  out.l1[2] += mono * rz + m.d[2] * inv_r3 + dip_r * rz +
+               (3.0 * qr_z - tr * rz) * inv_r5 + quad_r * rz;
+}
+
+void l2l(const LocalExp& parent, Vec3 parent_center, Vec3 child_center, LocalExp& child) {
+  const double tx = child_center.x - parent_center.x;
+  const double ty = child_center.y - parent_center.y;
+  const double tz = child_center.z - parent_center.z;
+  child.l0 += parent.l0 + parent.l1[0] * tx + parent.l1[1] * ty + parent.l1[2] * tz;
+  child.l1[0] += parent.l1[0];
+  child.l1[1] += parent.l1[1];
+  child.l1[2] += parent.l1[2];
+}
+
+void l2p(const LocalExp& l, Vec3 center, std::span<const Particle> parts,
+         std::span<double> potentials) {
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const double ax = parts[i].x - center.x;
+    const double ay = parts[i].y - center.y;
+    const double az = parts[i].z - center.z;
+    potentials[i] += l.l0 + l.l1[0] * ax + l.l1[1] * ay + l.l1[2] * az;
+  }
+}
+
+void p2p(std::span<const Particle> targets, std::span<const Particle> sources,
+         std::span<double> target_potentials) {
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    double acc = 0.0;
+    for (const Particle& s : sources) {
+      const double dx = targets[i].x - s.x;
+      const double dy = targets[i].y - s.y;
+      const double dz = targets[i].z - s.z;
+      acc += s.q / std::sqrt(dx * dx + dy * dy + dz * dz);
+    }
+    target_potentials[i] += acc;
+  }
+}
+
+void p2p_inner(std::span<const Particle> parts, std::span<double> potentials) {
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    for (std::size_t j = i + 1; j < parts.size(); ++j) {
+      const double dx = parts[i].x - parts[j].x;
+      const double dy = parts[i].y - parts[j].y;
+      const double dz = parts[i].z - parts[j].z;
+      const double inv = 1.0 / std::sqrt(dx * dx + dy * dy + dz * dz);
+      potentials[i] += parts[j].q * inv;
+      potentials[j] += parts[i].q * inv;
+    }
+  }
+}
+
+}  // namespace mp::fmm

@@ -1,0 +1,60 @@
+// FMM operators: Cartesian Taylor expansions of the 1/r kernel.
+//
+// Multipole: monopole + dipole + (symmetric) quadrupole about the cell
+// center. Local: value + gradient. With the standard well-separated
+// interaction lists this yields relative errors around 1e-2–1e-3 — ample
+// for a scheduling workload and validated against direct summation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "apps/fmm/particles.hpp"
+
+namespace mp::fmm {
+
+/// Order-2 Cartesian multipole. Q is symmetric: xx, yy, zz, xy, xz, yz.
+struct Multipole {
+  double q = 0.0;
+  double d[3] = {0.0, 0.0, 0.0};
+  double quad[6] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+};
+
+/// Order-1 local (Taylor) expansion of the far field.
+struct LocalExp {
+  double l0 = 0.0;
+  double l1[3] = {0.0, 0.0, 0.0};
+};
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+};
+
+/// Accumulates the particles into a multipole about `center`.
+void p2m(std::span<const Particle> parts, Vec3 center, Multipole& out);
+
+/// Translates a child multipole (about `child_center`) into the parent
+/// expansion (about `parent_center`), accumulating.
+void m2m(const Multipole& child, Vec3 child_center, Vec3 parent_center, Multipole& parent);
+
+/// Evaluates the far-field of a multipole at `local_center`, accumulating
+/// value and gradient into the local expansion.
+void m2l(const Multipole& m, Vec3 m_center, Vec3 l_center, LocalExp& out);
+
+/// Shifts a parent local expansion to a child center, accumulating.
+void l2l(const LocalExp& parent, Vec3 parent_center, Vec3 child_center, LocalExp& child);
+
+/// Evaluates the local expansion at each particle, accumulating potentials.
+void l2p(const LocalExp& l, Vec3 center, std::span<const Particle> parts,
+         std::span<double> potentials);
+
+/// Direct interaction: potentials of `targets` from `sources` (disjoint sets).
+void p2p(std::span<const Particle> targets, std::span<const Particle> sources,
+         std::span<double> target_potentials);
+
+/// Direct interaction within one set (mutual, no self-interaction).
+void p2p_inner(std::span<const Particle> parts, std::span<double> potentials);
+
+}  // namespace mp::fmm

@@ -1,0 +1,109 @@
+// Group octree for the task-based FMM (TBFMM's "group tree"): cells of a
+// uniform-depth octree, Morton-sorted, packed into fixed-size groups that
+// are the task/data granularity. Only non-empty cells are kept, so a
+// clustered particle distribution yields an irregular tree and an irregular
+// DAG — the property the paper's FMM evaluation relies on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "apps/fmm/kernels.hpp"
+#include "apps/fmm/particles.hpp"
+#include "common/ids.hpp"
+#include "runtime/task_graph.hpp"
+
+namespace mp::fmm {
+
+[[nodiscard]] std::uint64_t morton_encode(std::uint32_t x, std::uint32_t y, std::uint32_t z);
+void morton_decode(std::uint64_t code, std::uint32_t& x, std::uint32_t& y, std::uint32_t& z);
+
+struct OctreeOptions {
+  std::size_t height = 5;      ///< number of levels incl. root (leaf = height-1)
+  std::size_t group_size = 64; ///< cells per group (task granularity)
+  bool allocate = true;        ///< false = structure only (simulation DAGs)
+};
+
+class Octree {
+ public:
+  struct Cell {
+    std::uint64_t morton = 0;
+    std::uint32_t pbegin = 0;  ///< particle range (leaf level only)
+    std::uint32_t pend = 0;
+  };
+
+  struct Group {
+    std::uint32_t cbegin = 0;  ///< cell index range within the level
+    std::uint32_t cend = 0;
+    DataId multipole;          ///< per-level group expansions
+    DataId local;
+    DataId particles;          ///< leaf groups only
+    DataId potentials;         ///< leaf groups only
+  };
+
+  Octree(std::vector<Particle> parts, OctreeOptions opts);
+
+  [[nodiscard]] std::size_t height() const { return opts_.height; }
+  [[nodiscard]] std::size_t leaf_level() const { return opts_.height - 1; }
+  [[nodiscard]] bool allocated() const { return opts_.allocate; }
+
+  [[nodiscard]] const std::vector<Cell>& cells(std::size_t level) const;
+  [[nodiscard]] const std::vector<Group>& groups(std::size_t level) const;
+  [[nodiscard]] std::size_t group_of_cell(std::size_t level, std::size_t cell) const;
+
+  /// Geometric center of a cell.
+  [[nodiscard]] Vec3 center_of(std::size_t level, std::size_t cell) const;
+
+  /// Index of the cell with this Morton code at `level`, if it exists.
+  [[nodiscard]] std::optional<std::size_t> find_cell(std::size_t level,
+                                                     std::uint64_t morton) const;
+
+  /// Children of cell `cell` of level `level` as a [begin, end) index range
+  /// at level+1 (contiguous thanks to Morton ordering).
+  [[nodiscard]] std::pair<std::size_t, std::size_t> children_of(std::size_t level,
+                                                                std::size_t cell) const;
+
+  /// M2L interaction list of a cell (indices at the same level): children of
+  /// the parent's neighbours that are not neighbours of the cell itself.
+  [[nodiscard]] const std::vector<std::uint32_t>& m2l_list(std::size_t level,
+                                                           std::size_t cell) const;
+
+  /// Adjacent leaf cells with higher index (each neighbour pair listed once).
+  [[nodiscard]] const std::vector<std::uint32_t>& p2p_list(std::size_t cell) const;
+
+  /// Registers one data handle per group (multipoles/locals, plus particle
+  /// and potential slices at the leaf level).
+  void register_handles(TaskGraph& graph);
+
+  // --- storage (allocate = true) -------------------------------------------
+  [[nodiscard]] const std::vector<Particle>& particles() const { return parts_; }
+  [[nodiscard]] std::span<const Particle> cell_particles(std::size_t cell) const;
+  [[nodiscard]] std::span<double> cell_potentials(std::size_t cell);
+  [[nodiscard]] Multipole& multipole(std::size_t level, std::size_t cell);
+  [[nodiscard]] LocalExp& local(std::size_t level, std::size_t cell);
+  [[nodiscard]] const std::vector<double>& potentials() const { return potentials_; }
+  /// Potentials reordered back to the original particle submission order.
+  [[nodiscard]] std::vector<double> potentials_original_order() const;
+
+  /// Total particles in a group (flop accounting).
+  [[nodiscard]] std::size_t group_particle_count(const Group& g) const;
+
+ private:
+  void build_levels();
+  void build_groups(TaskGraph* graph);
+  void build_interaction_lists();
+
+  OctreeOptions opts_;
+  std::vector<Particle> parts_;          // Morton-sorted
+  std::vector<std::uint32_t> orig_index_;  // sorted position -> original index
+  std::vector<std::vector<Cell>> levels_;
+  std::vector<std::vector<Group>> groups_;
+  std::vector<std::vector<std::vector<std::uint32_t>>> m2l_;  // [level][cell]
+  std::vector<std::vector<std::uint32_t>> p2p_;               // [leaf cell]
+  std::vector<double> potentials_;
+  std::vector<std::vector<Multipole>> multipoles_;
+  std::vector<std::vector<LocalExp>> locals_;
+};
+
+}  // namespace mp::fmm

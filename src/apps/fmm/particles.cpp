@@ -1,0 +1,55 @@
+#include "apps/fmm/particles.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace mp::fmm {
+
+std::vector<Particle> uniform_cube(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Particle> parts(n);
+  for (Particle& p : parts) {
+    p.x = rng.next_double();
+    p.y = rng.next_double();
+    p.z = rng.next_double();
+    p.q = rng.next_real(0.1, 1.0);
+  }
+  return parts;
+}
+
+std::vector<Particle> clustered_sphere(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Particle> parts(n);
+  for (Particle& p : parts) {
+    // Plummer-like radius, clamped, then mapped into the unit cube.
+    const double m = rng.next_real(1e-3, 0.999);
+    double r = 0.15 / std::sqrt(std::pow(m, -2.0 / 3.0) - 1.0 + 1e-9);
+    r = std::min(r, 0.49);
+    const double theta = std::acos(rng.next_real(-1.0, 1.0));
+    const double phi = rng.next_real(0.0, 2.0 * 3.14159265358979323846);
+    p.x = 0.5 + r * std::sin(theta) * std::cos(phi);
+    p.y = 0.5 + r * std::sin(theta) * std::sin(phi);
+    p.z = 0.5 + r * std::cos(theta);
+    p.q = rng.next_real(0.1, 1.0);
+  }
+  return parts;
+}
+
+std::vector<double> direct_potentials(const std::vector<Particle>& parts) {
+  const std::size_t n = parts.size();
+  std::vector<double> pot(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = parts[i].x - parts[j].x;
+      const double dy = parts[i].y - parts[j].y;
+      const double dz = parts[i].z - parts[j].z;
+      const double inv = 1.0 / std::sqrt(dx * dx + dy * dy + dz * dz);
+      pot[i] += parts[j].q * inv;
+      pot[j] += parts[i].q * inv;
+    }
+  }
+  return pot;
+}
+
+}  // namespace mp::fmm

@@ -1,0 +1,27 @@
+// Particle sets for the FMM workload (paper Section VI-B: TBFMM).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mp::fmm {
+
+struct Particle {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+  double q = 0.0;  ///< charge / mass
+};
+
+/// Uniform distribution in the unit cube.
+[[nodiscard]] std::vector<Particle> uniform_cube(std::size_t n, std::uint64_t seed);
+
+/// Clustered (Plummer-like) distribution mapped into the unit cube — the
+/// irregular case that stresses load balancing.
+[[nodiscard]] std::vector<Particle> clustered_sphere(std::size_t n, std::uint64_t seed);
+
+/// Reference O(n²) direct summation of the 1/r potential (validation).
+[[nodiscard]] std::vector<double> direct_potentials(const std::vector<Particle>& parts);
+
+}  // namespace mp::fmm

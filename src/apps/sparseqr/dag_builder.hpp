@@ -1,0 +1,37 @@
+// Multifrontal sparse QR DAG builder (the paper's QR_MUMPS workload).
+//
+// Fronts (from the symbolic analysis) are partitioned into 1D block-column
+// panels, following the front-partitioning strategy of Agullo et al. [29]:
+// per front an assembly task, then a panel-QR task per pivot panel and an
+// update task per (pivot panel, trailing panel) pair. Parent assembly reads
+// the child's trailing panels (the contribution block), which wires the
+// elimination-tree dependencies through the STF data accesses. Panel sizes
+// vary with the (irregular) front sizes, producing the task-granularity mix
+// that makes sparse QR hard to schedule. No user priorities, as in the
+// paper's Fig. 8 setting.
+#pragma once
+
+#include "apps/sparseqr/symbolic.hpp"
+#include "runtime/task_graph.hpp"
+
+namespace mp::sqr {
+
+struct SparseQrDagOptions {
+  /// Block-column panel width within a front.
+  std::size_t panel_cols = 128;
+  /// Rows of a front are capped for handle sizing (very tall fronts stream
+  /// their rows in practice; the cap keeps simulated buffer sizes sane).
+  std::size_t max_rows_per_handle = 1u << 16;
+};
+
+struct SparseQrStats {
+  std::size_t fronts = 0;
+  std::size_t panels = 0;
+  std::size_t tasks = 0;
+  double flops = 0.0;
+};
+
+SparseQrStats build_sparseqr(TaskGraph& graph, const SymbolicAnalysis& sym,
+                             SparseQrDagOptions opts = {});
+
+}  // namespace mp::sqr

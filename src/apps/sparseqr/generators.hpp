@@ -1,0 +1,39 @@
+// Synthetic sparse matrices standing in for the paper's SuiteSparse set
+// (Fig. 7). Each generator is tuned so rows/cols/nnz match the published
+// numbers exactly and the multifrontal-QR operation count lands in the same
+// regime (achieved vs. target printed by bench_fig7_matrices).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/sparseqr/sparse_matrix.hpp"
+
+namespace mp::sqr {
+
+struct MatrixSpec {
+  std::string name;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::size_t nnz = 0;
+  /// Published multifrontal-QR op count (Gflop, METIS ordering) — the
+  /// quantity Fig. 7 sorts by.
+  double gflop_target = 0.0;
+  /// Generator shape knobs: local band spread and global-entry fraction
+  /// (larger values -> more fill -> more flops).
+  double band_spread = 0.0;
+  double global_fraction = 0.0;
+  /// Exponent biasing global entries toward low row indices (u^bias);
+  /// > 1 makes rows enter fronts earlier, raising the op count of very
+  /// rectangular matrices. 1.0 = uniform.
+  double global_bias = 1.0;
+};
+
+/// The ten matrices of the paper's Fig. 7, ordered by op count.
+[[nodiscard]] std::vector<MatrixSpec> paper_matrix_specs();
+
+/// Banded-plus-random sparse pattern with exactly spec.rows × spec.cols and
+/// spec.nnz entries (deterministic given the seed).
+[[nodiscard]] SparseMatrix generate(const MatrixSpec& spec, std::uint64_t seed = 7);
+
+}  // namespace mp::sqr

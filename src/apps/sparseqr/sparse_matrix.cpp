@@ -1,0 +1,71 @@
+#include "apps/sparseqr/sparse_matrix.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace mp::sqr {
+
+void SparseMatrix::self_check() const {
+  MP_CHECK(col_ptr.size() == cols + 1);
+  MP_CHECK(col_ptr.front() == 0 && col_ptr.back() == row_idx.size());
+  for (std::size_t j = 0; j < cols; ++j) {
+    MP_CHECK(col_ptr[j] <= col_ptr[j + 1]);
+    for (std::size_t k = col_ptr[j]; k + 1 < col_ptr[j + 1]; ++k)
+      MP_CHECK(row_idx[k] < row_idx[k + 1]);
+    for (std::size_t k = col_ptr[j]; k < col_ptr[j + 1]; ++k)
+      MP_CHECK(row_idx[k] < rows);
+  }
+}
+
+SparseMatrix SparseMatrix::transposed() const {
+  SparseMatrix t;
+  t.rows = cols;
+  t.cols = rows;
+  t.col_ptr.assign(rows + 1, 0);
+  for (std::uint32_t r : row_idx) ++t.col_ptr[r + 1];
+  for (std::size_t i = 0; i < rows; ++i) t.col_ptr[i + 1] += t.col_ptr[i];
+  t.row_idx.resize(row_idx.size());
+  std::vector<std::size_t> cursor(t.col_ptr.begin(), t.col_ptr.end() - 1);
+  for (std::size_t j = 0; j < cols; ++j)
+    for (std::size_t k = col_ptr[j]; k < col_ptr[j + 1]; ++k)
+      t.row_idx[cursor[row_idx[k]]++] = static_cast<std::uint32_t>(j);
+  return t;
+}
+
+std::vector<std::uint32_t> SparseMatrix::leftmost_col_per_row() const {
+  std::vector<std::uint32_t> leftmost(rows, static_cast<std::uint32_t>(cols));
+  for (std::size_t j = 0; j < cols; ++j)
+    for (std::size_t k = col_ptr[j]; k < col_ptr[j + 1]; ++k)
+      leftmost[row_idx[k]] =
+          std::min(leftmost[row_idx[k]], static_cast<std::uint32_t>(j));
+  return leftmost;
+}
+
+SparseMatrix tall_orientation(const SparseMatrix& a) {
+  return a.rows >= a.cols ? a : a.transposed();
+}
+
+SparseMatrix from_coo(std::size_t rows, std::size_t cols,
+                      std::vector<std::pair<std::uint32_t, std::uint32_t>> coo) {
+  // Sort by (col, row) and dedupe.
+  std::sort(coo.begin(), coo.end(),
+            [](const auto& a, const auto& b) {
+              return a.second != b.second ? a.second < b.second : a.first < b.first;
+            });
+  coo.erase(std::unique(coo.begin(), coo.end()), coo.end());
+  SparseMatrix m;
+  m.rows = rows;
+  m.cols = cols;
+  m.col_ptr.assign(cols + 1, 0);
+  m.row_idx.reserve(coo.size());
+  for (const auto& [r, c] : coo) {
+    MP_CHECK(r < rows && c < cols);
+    ++m.col_ptr[c + 1];
+    m.row_idx.push_back(r);
+  }
+  for (std::size_t j = 0; j < cols; ++j) m.col_ptr[j + 1] += m.col_ptr[j];
+  return m;
+}
+
+}  // namespace mp::sqr

@@ -1,0 +1,39 @@
+// Compressed-sparse-column matrices (pattern only — multifrontal QR
+// scheduling depends on structure, not values).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mp::sqr {
+
+struct SparseMatrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  /// CSC: col_ptr has cols+1 entries; row_idx[col_ptr[j]..col_ptr[j+1]) are
+  /// the sorted, unique row indices of column j.
+  std::vector<std::size_t> col_ptr;
+  std::vector<std::uint32_t> row_idx;
+
+  [[nodiscard]] std::size_t nnz() const { return row_idx.size(); }
+
+  /// Verifies CSC invariants (sorted unique rows, bounds). Aborts on error.
+  void self_check() const;
+
+  /// Row-major pattern (CSR of the same matrix), for row-wise traversal.
+  [[nodiscard]] SparseMatrix transposed() const;
+
+  /// Leftmost nonzero column of every row (cols if a row is empty).
+  [[nodiscard]] std::vector<std::uint32_t> leftmost_col_per_row() const;
+};
+
+/// QR factorization orientation: the multifrontal solver factorizes the
+/// tall form (Aᵀ for underdetermined systems, as qr_mumps does); returns
+/// `a` unchanged when rows ≥ cols, its transpose otherwise.
+[[nodiscard]] SparseMatrix tall_orientation(const SparseMatrix& a);
+
+/// Builds a CSC matrix from (row, col) pairs; sorts and dedupes.
+[[nodiscard]] SparseMatrix from_coo(std::size_t rows, std::size_t cols,
+                                    std::vector<std::pair<std::uint32_t, std::uint32_t>> coo);
+
+}  // namespace mp::sqr

@@ -1,0 +1,258 @@
+#include "apps/sparseqr/symbolic.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace mp::sqr {
+
+std::vector<std::uint32_t> column_etree(const SparseMatrix& a) {
+  const std::size_t n = a.cols;
+  constexpr std::uint32_t kNone = 0xffffffffu;
+  std::vector<std::uint32_t> parent(n, kNone);
+  std::vector<std::uint32_t> ancestor(n, kNone);
+  // prev[r]: last column whose pattern contains row r (Gilbert–Ng–Peyton).
+  std::vector<std::uint32_t> prev(a.rows, kNone);
+  for (std::uint32_t j = 0; j < n; ++j) {
+    for (std::size_t k = a.col_ptr[j]; k < a.col_ptr[j + 1]; ++k) {
+      std::uint32_t i = prev[a.row_idx[k]];
+      // Climb the partial etree with path compression.
+      while (i != kNone && i < j) {
+        const std::uint32_t inext = ancestor[i];
+        ancestor[i] = j;
+        if (inext == kNone) parent[i] = j;
+        i = inext;
+      }
+      prev[a.row_idx[k]] = j;
+    }
+  }
+  for (std::uint32_t j = 0; j < n; ++j)
+    if (parent[j] == kNone) parent[j] = j;  // root marker
+  return parent;
+}
+
+std::vector<std::uint32_t> postorder(const std::vector<std::uint32_t>& parent) {
+  const std::size_t n = parent.size();
+  std::vector<std::vector<std::uint32_t>> children(n);
+  std::vector<std::uint32_t> roots;
+  for (std::uint32_t j = 0; j < n; ++j) {
+    if (parent[j] == j) {
+      roots.push_back(j);
+    } else {
+      MP_CHECK_MSG(parent[j] > j, "etree parents must follow children");
+      children[parent[j]].push_back(j);
+    }
+  }
+  std::vector<std::uint32_t> post;
+  post.reserve(n);
+  // Iterative DFS emitting children before parents.
+  struct Item {
+    std::uint32_t node;
+    std::uint32_t next_child;
+  };
+  std::vector<Item> stack;
+  for (std::uint32_t r : roots) {
+    stack.push_back({r, 0});
+    while (!stack.empty()) {
+      Item& top = stack.back();
+      if (top.next_child < children[top.node].size()) {
+        const std::uint32_t c = children[top.node][top.next_child++];
+        stack.push_back({c, 0});
+      } else {
+        post.push_back(top.node);
+        stack.pop_back();
+      }
+    }
+  }
+  MP_CHECK(post.size() == n);
+  return post;
+}
+
+double Front::dense_flops() const {
+  const double mf = static_cast<double>(m);
+  const double nf = static_cast<double>(n());
+  const double kf = static_cast<double>(std::min({k(), m, n()}));
+  // Householder QR eliminating kf columns of an mf×nf front:
+  // 4·k·m·n − 2·k²·(m+n) + (4/3)·k³ (reduces to 2n²(m−n/3) at k = n).
+  const double f = 4.0 * kf * mf * nf - 2.0 * kf * kf * (mf + nf) + (4.0 / 3.0) * kf * kf * kf;
+  return std::max(f, 0.0);
+}
+
+void SymbolicAnalysis::self_check(std::size_t n_cols) const {
+  std::vector<bool> seen(n_cols, false);
+  for (const Front& f : fronts) {
+    for (std::uint32_t c : f.cols) {
+      MP_CHECK(c < n_cols && !seen[c]);
+      seen[c] = true;
+    }
+  }
+  for (bool b : seen) MP_CHECK(b);
+  for (std::size_t fi = 0; fi < fronts.size(); ++fi) {
+    const Front& f = fronts[fi];
+    if (f.parent != fi) {
+      MP_CHECK(f.parent > fi && f.parent < fronts.size());
+      const auto& pc = fronts[f.parent].children;
+      MP_CHECK(std::find(pc.begin(), pc.end(), fi) != pc.end());
+    }
+    for (std::uint32_t c : f.children) MP_CHECK(c < fi);
+    // Border columns are strictly greater than every pivot (post-order ids).
+  }
+}
+
+SymbolicAnalysis analyze(const SparseMatrix& a, AnalysisOptions opts) {
+  MP_CHECK(opts.max_front_cols >= 1);
+  SymbolicAnalysis out;
+  out.etree_parent = column_etree(a);
+  out.post = postorder(out.etree_parent);
+  const std::size_t n = a.cols;
+  constexpr std::uint32_t kNone = 0xffffffffu;
+
+  // Relabel columns by post-order rank; the etree is preserved under its own
+  // post-order, and fronts then own consecutive column ranges.
+  std::vector<std::uint32_t> rank(n);
+  for (std::uint32_t i = 0; i < n; ++i) rank[out.post[i]] = i;
+  std::vector<std::uint32_t> parent_r(n);  // parent in rank space
+  std::vector<std::uint32_t> n_children(n, 0);
+  for (std::uint32_t j = 0; j < n; ++j) {
+    const std::uint32_t pj = out.etree_parent[j];
+    parent_r[rank[j]] = (pj == j) ? rank[j] : rank[pj];
+  }
+  std::vector<std::vector<std::uint32_t>> etree_children(n);
+  for (std::uint32_t j = 0; j < n; ++j) {
+    if (parent_r[j] != j) {
+      ++n_children[parent_r[j]];
+      etree_children[parent_r[j]].push_back(j);
+    }
+  }
+
+  // Row patterns in rank space, bucketed by (rank-space) leftmost column.
+  const SparseMatrix at = a.transposed();  // rows of A as "columns"
+  std::vector<std::vector<std::uint32_t>> rows_by_leftmost(n);
+  std::vector<std::vector<std::uint32_t>> row_pattern(a.rows);
+  for (std::size_t r = 0; r < a.rows; ++r) {
+    const std::size_t b = at.col_ptr[r];
+    const std::size_t e = at.col_ptr[r + 1];
+    if (b == e) continue;
+    auto& pat = row_pattern[r];
+    pat.reserve(e - b);
+    for (std::size_t k = b; k < e; ++k) pat.push_back(rank[at.row_idx[k]]);
+    std::sort(pat.begin(), pat.end());
+    rows_by_leftmost[pat.front()].push_back(static_cast<std::uint32_t>(r));
+  }
+
+  // Single post-order sweep. For each column (rank space == post-order):
+  //   * exact column border = {x > j} of (assembled-row patterns union
+  //     etree-children borders) — children borders are freed right after;
+  //   * fill-aware supernode amalgamation into the single open front;
+  //   * front row counts from assembled rows + closed children fronts'
+  //     contribution blocks (registered against the parent *column*).
+  std::vector<Front>& fronts = out.fronts;
+  std::vector<std::uint32_t> front_of(n, kNone);
+  std::vector<std::vector<std::uint32_t>> col_border(n);
+  std::vector<std::size_t> col_border_size(n, 0);  // survives border clearing
+  std::vector<std::size_t> col_rows(n, 0);
+  std::vector<std::size_t> pending_cb(n, 0);              // per parent column
+  std::vector<std::vector<std::uint32_t>> pending_children(n);
+  std::vector<std::uint32_t> front_union;  // border union of the open front
+  std::vector<std::uint32_t> merged;
+  std::vector<std::uint32_t> tmp;
+
+  auto merge_into = [&tmp](std::vector<std::uint32_t>& dst,
+                           const std::vector<std::uint32_t>& src) {
+    tmp.clear();
+    std::set_union(dst.begin(), dst.end(), src.begin(), src.end(),
+                   std::back_inserter(tmp));
+    dst.swap(tmp);
+  };
+
+  auto close_front = [&]() {
+    if (fronts.empty()) return;
+    Front& f = fronts.back();
+    const std::uint32_t last = f.cols.back();
+    f.border.clear();
+    for (std::uint32_t x : front_union)
+      if (x > last) f.border.push_back(x);
+    // Staircase-aware flops: a row participates only from the pivot at
+    // which it enters the front (child CB rows enter with their parent
+    // column, original rows with their leftmost pivot).
+    double flops = 0.0;
+    double rows_in = 0.0;
+    const double nf = static_cast<double>(f.n());
+    f.rows_at_pivot.reserve(f.cols.size());
+    for (std::size_t i = 0; i < f.cols.size(); ++i) {
+      const std::uint32_t c = f.cols[i];
+      rows_in += static_cast<double>(col_rows[c] + pending_cb[c]);
+      f.rows_at_pivot.push_back(static_cast<std::uint32_t>(rows_in));
+      const double active = rows_in - static_cast<double>(i);
+      if (active <= 0.0) continue;
+      const double trailing = nf - static_cast<double>(i);
+      // One Householder step: form reflector (~2·active) + apply to the
+      // trailing columns (~4·active each).
+      flops += 4.0 * active * trailing;
+    }
+    f.staircase_flops = std::min(flops, f.dense_flops());
+    out.total_flops += f.flops();
+    // Register the contribution block against the parent column.
+    const std::uint32_t p = parent_r[last];
+    if (p != last) {
+      pending_cb[p] += f.cb_rows();
+      pending_children[p].push_back(static_cast<std::uint32_t>(fronts.size() - 1));
+    }
+  };
+
+  for (std::uint32_t j = 0; j < n; ++j) {
+    // Exact border of column j.
+    merged.clear();
+    merged.push_back(j);
+    for (std::uint32_t r : rows_by_leftmost[j]) {
+      merge_into(merged, row_pattern[r]);
+      ++col_rows[j];
+    }
+    for (std::uint32_t c : etree_children[j]) {
+      merge_into(merged, col_border[c]);
+      col_border[c].clear();
+      col_border[c].shrink_to_fit();
+    }
+    auto& bj = col_border[j];
+    bj.clear();
+    for (std::uint32_t x : merged)
+      if (x > j) bj.push_back(x);
+    col_border_size[j] = bj.size();
+
+    // Amalgamation decision (the chain child's border vector was just
+    // consumed and freed above; its recorded size drives the fill check).
+    bool extend = false;
+    if (!fronts.empty()) {
+      const std::uint32_t last = fronts.back().cols.back();
+      extend = parent_r[last] == j && n_children[j] == 1 &&
+               fronts.back().cols.size() < opts.max_front_cols &&
+               col_border_size[last] <= bj.size() + 1 + opts.amalgamation_slack;
+    }
+    if (!extend) {
+      close_front();
+      fronts.emplace_back();
+      front_union.clear();
+    }
+    Front& f = fronts.back();
+    f.cols.push_back(j);
+    front_of[j] = static_cast<std::uint32_t>(fronts.size() - 1);
+    merge_into(front_union, bj);
+    f.m += col_rows[j] + pending_cb[j];
+    for (std::uint32_t cf : pending_children[j]) f.children.push_back(cf);
+    pending_children[j].clear();
+  }
+  close_front();
+
+  // Front tree parents (children were attached as fronts closed).
+  for (std::size_t fi = 0; fi < fronts.size(); ++fi) {
+    Front& f = fronts[fi];
+    const std::uint32_t last = f.cols.back();
+    const std::uint32_t p = parent_r[last];
+    f.parent = (p == last) ? static_cast<std::uint32_t>(fi) : front_of[p];
+  }
+  out.self_check(n);
+  return out;
+}
+
+}  // namespace mp::sqr

@@ -1,0 +1,37 @@
+// Lightweight invariant checking.
+//
+// MP_CHECK is always on (cheap, used at API boundaries); MP_ASSERT compiles
+// out in NDEBUG builds (used on hot paths). Both print the failed expression
+// and location, then abort — scheduling bugs must fail loudly, not corrupt
+// a simulation silently.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mp {
+
+[[noreturn]] inline void check_fail(const char* expr, const char* file, int line,
+                                    const char* msg) {
+  std::fprintf(stderr, "MP_CHECK failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace mp
+
+#define MP_CHECK(expr)                                              \
+  do {                                                              \
+    if (!(expr)) ::mp::check_fail(#expr, __FILE__, __LINE__, "");   \
+  } while (0)
+
+#define MP_CHECK_MSG(expr, msg)                                       \
+  do {                                                                \
+    if (!(expr)) ::mp::check_fail(#expr, __FILE__, __LINE__, (msg));  \
+  } while (0)
+
+#ifdef NDEBUG
+#define MP_ASSERT(expr) ((void)0)
+#else
+#define MP_ASSERT(expr) MP_CHECK(expr)
+#endif

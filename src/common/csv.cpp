@@ -1,0 +1,91 @@
+#include "common/csv.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace mp {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  MP_CHECK(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  MP_CHECK_MSG(cells.size() == header_.size(), "row width must match header");
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < header_.size(); ++i)
+    os << (i ? "," : "") << csv_escape(header_[i]);
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i)
+      os << (i ? "," : "") << csv_escape(row[i]);
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string Table::to_ascii() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) width[i] = header_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.size(); ++i)
+      width[i] = std::max(width[i], row[i].size());
+
+  auto emit_row = [&](std::ostringstream& os, const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << ' ' << row[i] << std::string(width[i] - row[i].size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+
+  std::ostringstream os;
+  emit_row(os, header_);
+  os << '|';
+  for (std::size_t i = 0; i < header_.size(); ++i)
+    os << std::string(width[i] + 2, '-') << '|';
+  os << '\n';
+  for (const auto& row : rows_) emit_row(os, row);
+  return os.str();
+}
+
+bool Table::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_csv();
+  return static_cast<bool>(f);
+}
+
+std::string fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_percent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, 100.0 * fraction);
+  return buf;
+}
+
+}  // namespace mp

@@ -1,0 +1,44 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of the library (workload generators, execution
+// noise, random scheduler) draw from Xoshiro256** seeded explicitly, so every
+// experiment is reproducible bit-for-bit from its seed.
+#pragma once
+
+#include <cstdint>
+
+namespace mp {
+
+/// SplitMix64: used to expand a single user seed into generator state.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Xoshiro256** by Blackman & Vigna — fast, high-quality, tiny state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  [[nodiscard]] std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  [[nodiscard]] double next_double();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  [[nodiscard]] std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform real in [lo, hi).
+  [[nodiscard]] double next_real(double lo, double hi);
+
+  /// Standard normal via Marsaglia polar method.
+  [[nodiscard]] double next_normal();
+
+  /// Derive an independent stream (e.g. per-task noise from a global seed).
+  [[nodiscard]] static Rng derive(std::uint64_t seed, std::uint64_t stream);
+
+ private:
+  std::uint64_t s_[4];
+  bool has_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace mp

@@ -1,0 +1,31 @@
+#include "core/gain.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace mp {
+
+double GainTracker::gain(const SchedContext& ctx, TaskId t, ArchType a) {
+  const std::vector<ArchType> archs = enabled_archs(ctx, t);
+  MP_ASSERT(!archs.empty());
+  if (archs.size() == 1) return 1.0;  // only one arch can run the task
+
+  const ArchType first = best_arch_for(ctx, t);
+  const double delta_a = ctx.perf->estimate(t, a);
+  double diff = 0.0;
+  if (a == first) {
+    const std::optional<ArchType> second = second_arch_for(ctx, t);
+    MP_ASSERT(second.has_value());
+    diff = ctx.perf->estimate(t, *second) - delta_a;  // ≥ 0
+  } else {
+    diff = ctx.perf->estimate(t, first) - delta_a;  // ≤ 0
+  }
+
+  double& hd = hd_[arch_index(a)];
+  hd = std::max(hd, std::abs(diff));
+  if (hd == 0.0) return 0.5;  // no contrast recorded yet: neutral score
+  return (diff + hd) / (2.0 * hd);
+}
+
+}  // namespace mp

@@ -1,0 +1,19 @@
+#include "core/locality.hpp"
+
+namespace mp {
+
+double ls_sdh2(const SchedContext& ctx, MemNodeId m, TaskId t) {
+  double score = 0.0;
+  for (const Access& acc : ctx.graph->task(t).accesses) {
+    if (!ctx.memory->is_valid_on(acc.data, m)) continue;
+    const auto size = static_cast<double>(ctx.graph->handles().get(acc.data).bytes);
+    if (mode_writes(acc.mode)) {
+      score += size * size;
+    } else {
+      score += size;
+    }
+  }
+  return score;
+}
+
+}  // namespace mp

@@ -1,0 +1,17 @@
+// Data-locality heuristic LS_SDH² (paper Section V-C, Eq. 3, after [20]).
+//
+//   LS_SDH²(m,t) = Σ_{d ∈ D^R_{t,m}} size(d)  +  Σ_{d ∈ D^W_{t,m}} size(d)²
+//
+// Sums the bytes of the task's data already valid on memory node m, counting
+// written data quadratically (keeping a write local avoids both a fetch and
+// a future invalidation/writeback).
+#pragma once
+
+#include "common/ids.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace mp {
+
+[[nodiscard]] double ls_sdh2(const SchedContext& ctx, MemNodeId m, TaskId t);
+
+}  // namespace mp

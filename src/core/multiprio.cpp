@@ -1,0 +1,163 @@
+#include "core/multiprio.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace mp {
+
+MultiPrioScheduler::MultiPrioScheduler(SchedContext ctx, MultiPrioConfig config)
+    : Scheduler(std::move(ctx)), cfg_(config) {
+  const std::size_t n_nodes = ctx_.platform->num_nodes();
+  heaps_.resize(n_nodes);
+  ready_count_.assign(n_nodes, 0);
+  brw_.assign(n_nodes, 0.0);
+}
+
+void MultiPrioScheduler::push(TaskId t) {
+  if (taken_.size() <= t.index()) taken_.resize(t.index() + 1, false);
+  MP_ASSERT(!taken_[t.index()]);
+
+  const ArchType best = best_arch_for(ctx_, t);
+  bool inserted_somewhere = false;
+  PushRecord& rec = pushed_[t];
+  rec.best_arch = best;
+  auto& added = rec.brw_added;
+
+  // Algorithm 1: insert into the heap of every memory node whose workers can
+  // execute the task, with the (gain, criticality) scores.
+  for (std::size_t mi = 0; mi < ctx_.platform->num_nodes(); ++mi) {
+    const MemNodeId m{mi};
+    if (ctx_.platform->workers_of_node(m).empty()) continue;
+    const ArchType a = ctx_.platform->node_arch(m);
+    if (!ctx_.graph->can_exec(t, a)) continue;
+    MP_ASSERT(ctx_.platform->worker_count(a) > 0);
+
+    const double gain = gain_.gain(ctx_, t, a);
+    const double prio = cfg_.use_nod ? nod_.normalized(ctx_, t, m) : 0.0;
+    heaps_[mi].insert(t, gain, prio);
+    ++ready_count_[mi];
+    inserted_somewhere = true;
+
+    if (a == best) {  // normalized_speedup(t,a) == 1
+      const double d = ctx_.perf->estimate(t, a);
+      brw_[mi] += d;
+      added.emplace_back(m, d);
+    }
+  }
+  MP_CHECK_MSG(inserted_somewhere, "ready task has no executable memory node");
+  ++pending_;
+}
+
+bool MultiPrioScheduler::pop_condition(TaskId t, ArchType a) const {
+  const auto it = pushed_.find(t);
+  MP_ASSERT(it != pushed_.end());
+  const ArchType best = it->second.best_arch;
+  if (a == best) return true;
+  double brw_best = 0.0;
+  for (MemNodeId m : ctx_.platform->nodes_of_arch(best)) brw_best += brw_[m.index()];
+  if (cfg_.normalize_brw_by_workers) {
+    brw_best /= static_cast<double>(std::max<std::size_t>(1, ctx_.platform->worker_count(best)));
+  }
+  // The best workers hold more queued best-affinity work than it would cost
+  // this slower worker to run the task: diverting it keeps the DAG moving.
+  return brw_best > ctx_.perf->estimate(t, a);
+}
+
+void MultiPrioScheduler::drop_taken(ScoredHeap& heap) {
+  while (auto top = heap.top()) {
+    if (!taken_[top->task.index()]) return;
+    heap.pop_top();
+  }
+}
+
+std::optional<TaskId> MultiPrioScheduler::select_candidate(MemNodeId m) {
+  ScoredHeap& heap = heaps_[m.index()];
+  drop_taken(heap);
+  if (heap.empty()) return std::nullopt;
+  const HeapEntry top = *heap.top();
+  if (!cfg_.use_locality) return top.task;
+
+  // Most-local task among the first n entries whose gain score is within ε
+  // of the top task's score. Taken duplicates inside the window are skipped
+  // (the top itself is known live after drop_taken).
+  TaskId best_task = top.task;
+  double best_local = -1.0;
+  std::size_t seen = 0;
+  heap.for_top([&](const HeapEntry& e) {
+    if (e.gain < top.gain - cfg_.epsilon) return false;
+    if (seen >= cfg_.locality_n) return false;
+    ++seen;
+    if (taken_[e.task.index()]) return true;
+    const double local = ls_sdh2(ctx_, m, e.task);
+    if (local > best_local) {
+      best_local = local;
+      best_task = e.task;
+    }
+    return true;
+  });
+  return best_task;
+}
+
+void MultiPrioScheduler::take(TaskId t, MemNodeId from_node, ArchType taker) {
+  taken_[t.index()] = true;
+  heaps_[from_node.index()].remove(t);
+  MP_ASSERT(ready_count_[from_node.index()] > 0);
+  --ready_count_[from_node.index()];
+  // Algorithm 2 debits best_remaining_work by δ(t, w_a) — the *taking*
+  // worker's time. For a best-arch pop this reverses the PUSH credit; for a
+  // diversion it debits more, throttling cascades of slow-worker steals.
+  auto it = pushed_.find(t);
+  MP_ASSERT(it != pushed_.end());
+  const bool diverted = taker != it->second.best_arch;
+  const double debit = diverted ? ctx_.perf->estimate(t, taker) : 0.0;
+  for (const auto& [m, credited] : it->second.brw_added) {
+    brw_[m.index()] -= diverted ? std::max(debit, credited) : credited;
+    if (brw_[m.index()] < 0.0) brw_[m.index()] = 0.0;
+  }
+  pushed_.erase(it);
+  MP_ASSERT(pending_ > 0);
+  --pending_;
+}
+
+std::optional<TaskId> MultiPrioScheduler::pop(WorkerId w) {
+  const Worker& worker = ctx_.platform->worker(w);
+  const MemNodeId m = worker.node;
+  const ArchType a = worker.arch;
+
+  for (std::size_t tries = 0; tries <= cfg_.max_tries; ++tries) {
+    const std::optional<TaskId> cand = select_candidate(m);
+    if (!cand) return std::nullopt;
+    if (!cfg_.use_eviction || pop_condition(*cand, a)) {
+      take(*cand, m, a);
+      return cand;
+    }
+    // Eviction mechanism: remove the task from this node's heap only; its
+    // duplicates in the best architecture's heaps keep it schedulable (the
+    // pop_condition is always true there, so the best heap never evicts).
+    MP_ASSERT(a != pushed_.find(*cand)->second.best_arch);
+    ++pop_rejects_;
+    ++evictions_;
+    heaps_[m.index()].remove(*cand);
+    MP_ASSERT(ready_count_[m.index()] > 0);
+    --ready_count_[m.index()];
+  }
+  return std::nullopt;
+}
+
+std::size_t MultiPrioScheduler::ready_tasks_count(MemNodeId m) const {
+  MP_CHECK(m.index() < ready_count_.size());
+  return ready_count_[m.index()];
+}
+
+double MultiPrioScheduler::best_remaining_work(MemNodeId m) const {
+  MP_CHECK(m.index() < brw_.size());
+  return brw_[m.index()];
+}
+
+const ScoredHeap& MultiPrioScheduler::heap(MemNodeId m) const {
+  MP_CHECK(m.index() < heaps_.size());
+  return heaps_[m.index()];
+}
+
+}  // namespace mp

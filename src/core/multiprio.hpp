@@ -1,0 +1,105 @@
+// MultiPrio — the paper's scheduler (Sections III–V).
+//
+// One binary max-heap of ready tasks per memory node; tasks are duplicated
+// into every heap whose processing units can execute them, keyed by
+// (gain, NOD criticality). POP selects the most data-local task among the
+// best `n` candidates within `ε` of the top score, then applies the
+// pop_condition: a non-best worker only takes the task when the best
+// architecture's accumulated remaining work exceeds the task's estimated
+// time on this worker; otherwise the task is evicted from this node's heap
+// (it always survives in the best architecture's heaps).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/gain.hpp"
+#include "core/locality.hpp"
+#include "core/nod.hpp"
+#include "core/scored_heap.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace mp {
+
+struct MultiPrioConfig {
+  /// Locality window size (paper: n = 10).
+  std::size_t locality_n = 10;
+  /// Score-difference threshold for the locality window (paper: ε = 0.8).
+  double epsilon = 0.8;
+  /// Maximum POP attempts before giving up (Algorithm 2's MAX_TRIES).
+  std::size_t max_tries = 8;
+  /// Ablation switches (all ON reproduces the paper).
+  bool use_eviction = true;   // Section V-D
+  bool use_locality = true;   // Section V-C
+  bool use_nod = true;        // Section V-B tiebreaker
+  /// Divide best_remaining_work by the best arch's worker count in the
+  /// pop_condition, i.e. compare the task's time on this worker against the
+  /// expected *per-worker* backlog of the best architecture. The literal
+  /// raw-sum reading of Algorithm 2 lets every slow worker divert work as
+  /// soon as the global backlog exceeds one task (a 30-CPU node then starves
+  /// its GPUs — see bench_ablation_multiprio); per-worker normalization is
+  /// the behaviour consistent with the paper's results and is the default.
+  bool normalize_brw_by_workers = true;
+};
+
+class MultiPrioScheduler final : public Scheduler {
+ public:
+  explicit MultiPrioScheduler(SchedContext ctx, MultiPrioConfig config = {});
+
+  void push(TaskId t) override;                        // Algorithm 1
+  [[nodiscard]] std::optional<TaskId> pop(WorkerId w) override;  // Algorithm 2
+
+  [[nodiscard]] std::string name() const override { return "multiprio"; }
+  [[nodiscard]] std::size_t pending_count() const override { return pending_; }
+  [[nodiscard]] bool has_work_hint(WorkerId w) const override {
+    return !heaps_[ctx_.platform->worker(w).node.index()].empty();
+  }
+
+  // --- introspection (tests / ablation benches) ---------------------------
+
+  [[nodiscard]] std::size_t ready_tasks_count(MemNodeId m) const;
+  [[nodiscard]] double best_remaining_work(MemNodeId m) const;
+  [[nodiscard]] std::size_t eviction_total() const { return evictions_; }
+  [[nodiscard]] std::size_t pop_condition_rejects() const { return pop_rejects_; }
+  [[nodiscard]] const GainTracker& gain_tracker() const { return gain_; }
+  [[nodiscard]] const ScoredHeap& heap(MemNodeId m) const;
+
+ private:
+  /// pop_condition (Section V-D): true when `a` is the best arch for `t`
+  /// (as judged at PUSH), or the best arch's workers are busy enough that
+  /// diverting `t` helps.
+  [[nodiscard]] bool pop_condition(TaskId t, ArchType a) const;
+
+  /// Locality selection (Section V-C): most local candidate among the top-n
+  /// entries within ε of the best score; skips already-taken duplicates
+  /// (they are removed lazily by the caller beforehand).
+  [[nodiscard]] std::optional<TaskId> select_candidate(MemNodeId m);
+
+  /// Drops entries whose task was already taken from another heap.
+  void drop_taken(ScoredHeap& heap);
+
+  void take(TaskId t, MemNodeId from_node, ArchType taker);
+
+  MultiPrioConfig cfg_;
+  std::vector<ScoredHeap> heaps_;                 // one per memory node
+  std::vector<std::size_t> ready_count_;          // per node
+  std::vector<double> brw_;                       // best_remaining_work per node
+  std::vector<bool> taken_;                       // per task, grown on demand
+  /// Push-time state per pending task: the arch judged fastest at PUSH (the
+  /// pop_condition must use the same verdict — live δ estimates can drift
+  /// during real execution, and a drifting "best" could evict a task from
+  /// every heap and lose it) and the brw contributions to reverse at POP.
+  struct PushRecord {
+    ArchType best_arch = ArchType::CPU;
+    std::vector<std::pair<MemNodeId, double>> brw_added;
+  };
+  std::unordered_map<TaskId, PushRecord> pushed_;
+  GainTracker gain_;
+  NodNormalizer nod_;
+  std::size_t pending_ = 0;
+  std::size_t evictions_ = 0;
+  std::size_t pop_rejects_ = 0;
+};
+
+}  // namespace mp

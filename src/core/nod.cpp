@@ -1,0 +1,30 @@
+#include "core/nod.hpp"
+
+#include <algorithm>
+
+namespace mp {
+
+double nod_score(const SchedContext& ctx, TaskId t, MemNodeId m) {
+  const ArchType a = ctx.platform->node_arch(m);
+  double nod = 0.0;
+  for (TaskId s : ctx.graph->successors(t)) {
+    if (!ctx.graph->can_exec(s, a)) continue;
+    std::size_t preds_on_arch = 0;
+    for (TaskId p : ctx.graph->predecessors(s))
+      if (ctx.graph->can_exec(p, a)) ++preds_on_arch;
+    // When no predecessor targets this arch (yet the successor does), fall
+    // back to the unrestricted in-degree so the term stays well-defined.
+    const std::size_t denom = preds_on_arch > 0 ? preds_on_arch
+                                                : std::max<std::size_t>(1, ctx.graph->in_degree(s));
+    nod += 1.0 / static_cast<double>(denom);
+  }
+  return nod;
+}
+
+double NodNormalizer::normalized(const SchedContext& ctx, TaskId t, MemNodeId m) {
+  const double nod = nod_score(ctx, t, m);
+  max_seen_ = std::max(max_seen_, nod);
+  return max_seen_ > 0.0 ? nod / max_seen_ : 0.0;
+}
+
+}  // namespace mp

@@ -1,0 +1,33 @@
+// Criticality heuristic: Normalized Out-Degree (paper Section V-B, Eq. 2,
+// after Lin et al. [23]).
+//
+//   NOD(t) = Σ_{s ∈ λ+(t, P_m)}  1 / |λ−(s, P_m)|
+//
+// Successors and predecessor counts are restricted to tasks executable on
+// the architecture of memory node m. A task releasing many lightly-guarded
+// successors scores high: finishing it unlocks the most parallelism.
+#pragma once
+
+#include "common/ids.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace mp {
+
+/// Raw NOD value of `t` for memory node `m`.
+[[nodiscard]] double nod_score(const SchedContext& ctx, TaskId t, MemNodeId m);
+
+/// Maintains the running maximum used to normalize NOD into [0, 1]
+/// ("all values are normalized between 0 and 1").
+class NodNormalizer {
+ public:
+  /// Normalized criticality score; updates the running max as a side effect.
+  [[nodiscard]] double normalized(const SchedContext& ctx, TaskId t, MemNodeId m);
+
+  [[nodiscard]] double max_seen() const { return max_seen_; }
+  void reset() { max_seen_ = 0.0; }
+
+ private:
+  double max_seen_ = 0.0;
+};
+
+}  // namespace mp

@@ -1,0 +1,88 @@
+#include "core/scored_heap.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace mp {
+
+void ScoredHeap::insert(TaskId t, double gain, double prio) {
+  MP_CHECK_MSG(!contains(t), "task already in this heap");
+  entries_.push_back(HeapEntry{t, gain, prio, next_seq_++});
+  pos_[t] = entries_.size() - 1;
+  sift_up(entries_.size() - 1);
+}
+
+std::optional<HeapEntry> ScoredHeap::top() const {
+  if (entries_.empty()) return std::nullopt;
+  return entries_.front();
+}
+
+void ScoredHeap::pop_top() {
+  MP_CHECK(!entries_.empty());
+  remove(entries_.front().task);
+}
+
+void ScoredHeap::remove(TaskId t) {
+  auto it = pos_.find(t);
+  MP_CHECK_MSG(it != pos_.end(), "removing a task not in the heap");
+  const std::size_t i = it->second;
+  pos_.erase(it);
+  const std::size_t last = entries_.size() - 1;
+  if (i != last) {
+    HeapEntry moved = entries_[last];
+    const TaskId moved_task = moved.task;
+    entries_.pop_back();
+    place(i, std::move(moved));
+    // The moved entry may need to go either direction; sift_up leaves every
+    // displaced ancestor dominating its new subtree, so following with a
+    // sift_down at the entry's final position is always safe.
+    sift_up(i);
+    sift_down(pos_[moved_task]);
+  } else {
+    entries_.pop_back();
+  }
+}
+
+void ScoredHeap::place(std::size_t i, HeapEntry e) {
+  pos_[e.task] = i;
+  entries_[i] = std::move(e);
+}
+
+void ScoredHeap::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!entries_[i].before(entries_[parent])) break;
+    std::swap(entries_[i], entries_[parent]);
+    pos_[entries_[i].task] = i;
+    pos_[entries_[parent].task] = parent;
+    i = parent;
+  }
+}
+
+void ScoredHeap::sift_down(std::size_t i) {
+  const std::size_t n = entries_.size();
+  while (true) {
+    std::size_t best = i;
+    for (std::size_t c : {2 * i + 1, 2 * i + 2})
+      if (c < n && entries_[c].before(entries_[best])) best = c;
+    if (best == i) return;
+    std::swap(entries_[i], entries_[best]);
+    pos_[entries_[i].task] = i;
+    pos_[entries_[best].task] = best;
+    i = best;
+  }
+}
+
+bool ScoredHeap::validate() const {
+  if (pos_.size() != entries_.size()) return false;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    auto it = pos_.find(entries_[i].task);
+    if (it == pos_.end() || it->second != i) return false;
+    for (std::size_t c : {2 * i + 1, 2 * i + 2})
+      if (c < entries_.size() && entries_[c].before(entries_[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace mp

@@ -1,0 +1,93 @@
+// ScoredHeap: the per-memory-node priority queue of MultiPrio.
+//
+// A binary max-heap whose entries carry the two scores of the paper: the
+// gain (affinity) score is the primary key, the criticality (NOD) score
+// breaks ties, and insertion order breaks remaining ties (FIFO among equal
+// tasks). Supports removal of arbitrary tasks (the eviction mechanism) via
+// an index map, and non-destructive traversal of the best entries (the
+// locality window of Section V-C).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace mp {
+
+struct HeapEntry {
+  TaskId task;
+  double gain = 0.0;  // primary key  (score_gain, Section V-A)
+  double prio = 0.0;  // tiebreaker   (score_criticality, Section V-B)
+  std::uint64_t seq = 0;
+
+  /// Max-heap "greater priority" ordering.
+  [[nodiscard]] bool before(const HeapEntry& o) const {
+    if (gain != o.gain) return gain > o.gain;
+    if (prio != o.prio) return prio > o.prio;
+    return seq < o.seq;
+  }
+};
+
+class ScoredHeap {
+ public:
+  /// Inserts a task; a task may appear at most once per heap.
+  void insert(TaskId t, double gain, double prio);
+
+  [[nodiscard]] bool contains(TaskId t) const { return pos_.count(t) != 0; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// Highest-priority entry, if any.
+  [[nodiscard]] std::optional<HeapEntry> top() const;
+
+  /// Removes the top entry. Requires non-empty.
+  void pop_top();
+
+  /// Removes an arbitrary task (the eviction mechanism). Requires presence.
+  void remove(TaskId t);
+
+  /// Visits entries in exact non-increasing priority order, without mutating
+  /// the heap, until `fn` returns false or the heap is exhausted.
+  /// fn: bool(const HeapEntry&).
+  template <typename F>
+  void for_top(F&& fn) const {
+    if (entries_.empty()) return;
+    // Aux max-heap of indices into entries_, seeded with the root; popping
+    // index i exposes children 2i+1 / 2i+2 — yields exact sorted order.
+    std::vector<std::size_t> aux;
+    aux.push_back(0);
+    auto less = [this](std::size_t a, std::size_t b) {
+      return entries_[b].before(entries_[a]);  // max-heap via std::push_heap
+    };
+    while (!aux.empty()) {
+      std::pop_heap(aux.begin(), aux.end(), less);
+      const std::size_t i = aux.back();
+      aux.pop_back();
+      if (!fn(entries_[i])) return;
+      for (std::size_t c : {2 * i + 1, 2 * i + 2}) {
+        if (c < entries_.size()) {
+          aux.push_back(c);
+          std::push_heap(aux.begin(), aux.end(), less);
+        }
+      }
+    }
+  }
+
+  /// Verifies the heap property and index-map consistency (tests only).
+  [[nodiscard]] bool validate() const;
+
+ private:
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void place(std::size_t i, HeapEntry e);
+
+  std::vector<HeapEntry> entries_;
+  std::unordered_map<TaskId, std::size_t> pos_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace mp

@@ -1,0 +1,135 @@
+#include "exec/thread_executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace mp {
+
+namespace {
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+ThreadExecutor::ThreadExecutor(const TaskGraph& graph, const Platform& platform,
+                               const PerfDatabase& perf)
+    : graph_(graph), platform_(platform), perf_(perf) {
+  platform_.self_check();
+  graph_.self_check();
+}
+
+ExecResult ThreadExecutor::run(const ExecSchedulerFactory& make_scheduler) {
+  HistoryModel history(graph_, perf_);
+  MemoryManager memory(graph_, platform_);
+  DepCounters deps(graph_);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::uint64_t state_version = 0;
+  std::size_t completed = 0;
+  const std::size_t total = graph_.num_tasks();
+  const double t0 = now_seconds();
+
+  SchedContext ctx;
+  ctx.graph = &graph_;
+  ctx.platform = &platform_;
+  ctx.perf = &history;
+  ctx.memory = &memory;
+  ctx.now = [t0] { return now_seconds() - t0; };
+  ctx.prefetch = nullptr;  // no timed links in real mode
+  std::unique_ptr<Scheduler> sched = make_scheduler(std::move(ctx));
+  MP_CHECK(sched != nullptr);
+
+  {
+    std::lock_guard lock(mu);
+    for (TaskId t : graph_.initial_ready()) sched->push(t);
+  }
+
+  ExecResult result;
+  result.tasks_per_worker.assign(platform_.num_workers(), 0);
+  std::vector<bool> executed(total, false);
+  // Per-handle mutexes enforcing AccessMode::Commute mutual exclusion.
+  std::vector<std::unique_ptr<std::mutex>> commute_mu(graph_.handles().count());
+  for (auto& m : commute_mu) m = std::make_unique<std::mutex>();
+
+  auto worker_body = [&](WorkerId w) {
+    const ArchType arch = platform_.worker(w).arch;
+    std::unique_lock lock(mu);
+    while (completed < total) {
+      const std::optional<TaskId> popped = sched->pop(w);
+      if (!popped) {
+        const std::uint64_t seen = state_version;
+        // Timed wait: a buggy policy must not hang the process — the worker
+        // simply retries, and the post-run checks will flag lost tasks.
+        (void)cv.wait_for(lock, std::chrono::seconds(2),
+                          [&] { return completed == total || state_version != seen; });
+        continue;
+      }
+      const TaskId t = *popped;
+      MP_CHECK_MSG(!executed[t.index()], "task popped twice");
+      executed[t.index()] = true;
+      // Keep logical data placement in sync so locality heuristics see the
+      // same world as in simulation (transfers are free functionally).
+      std::vector<TransferOp> ops;
+      memory.acquire_for_task(t, platform_.worker(w).node, ops);
+      sched->on_task_start(t, w);
+      ++state_version;
+      cv.notify_all();  // a successful pop changes scheduler state
+      lock.unlock();
+
+      const Codelet& cl = graph_.codelet_of(t);
+      const KernelFn& fn = (arch == ArchType::GPU && cl.gpu_fn) ? cl.gpu_fn : cl.cpu_fn;
+      MP_CHECK_MSG(static_cast<bool>(fn), "no runnable implementation for popped task");
+      std::vector<void*> buffers;
+      buffers.reserve(graph_.task(t).accesses.size());
+      std::vector<std::uint32_t> locks;
+      for (const Access& a : graph_.task(t).accesses) {
+        buffers.push_back(graph_.handles().get(a.data).user_ptr);
+        if (a.mode == AccessMode::Commute) locks.push_back(a.data.value());
+      }
+      // Commute accesses may race with other commuters of the same handle:
+      // hold the handle mutexes for the kernel, locking in sorted order.
+      std::sort(locks.begin(), locks.end());
+      locks.erase(std::unique(locks.begin(), locks.end()), locks.end());
+      for (std::uint32_t d : locks) commute_mu[d]->lock();
+      const double start = now_seconds();
+      fn(graph_.task(t), buffers);
+      const double dur = std::max(1e-9, now_seconds() - start);
+      for (auto it = locks.rbegin(); it != locks.rend(); ++it)
+        commute_mu[*it]->unlock();
+
+      lock.lock();
+      history.record(t, arch, dur);
+      ++result.tasks_per_worker[w.index()];
+      sched->on_task_end(t, w);
+      std::vector<TaskId> newly;
+      deps.complete(t, newly);
+      for (TaskId nt : newly) sched->push(nt);
+      ++completed;
+      ++state_version;
+      cv.notify_all();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(platform_.num_workers());
+  for (std::size_t wi = 0; wi < platform_.num_workers(); ++wi)
+    threads.emplace_back(worker_body, WorkerId{wi});
+  for (auto& th : threads) th.join();
+
+  MP_CHECK(completed == total);
+  MP_CHECK_MSG(sched->pending_count() == 0, "scheduler still holds tasks");
+  result.wall_seconds = now_seconds() - t0;
+  result.tasks_executed = completed;
+  return result;
+}
+
+}  // namespace mp

@@ -1,0 +1,48 @@
+// ThreadExecutor: runs a task graph for real, with one OS thread per
+// platform worker and real kernel implementations (cpu_fn / gpu_fn).
+//
+// This is the functional counterpart of the simulator: the same Scheduler
+// implementations plug in unchanged (mutex-guarded), data handles carry real
+// buffers, and the numerical results can be validated. Workers tagged GPU
+// execute gpu_fn when provided, else fall back to cpu_fn — functional
+// emulation of the device (timing heterogeneity is the simulator's job).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "runtime/memory_manager.hpp"
+#include "runtime/perf_model.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace mp {
+
+struct ExecResult {
+  double wall_seconds = 0.0;
+  std::size_t tasks_executed = 0;
+  /// Tasks executed per worker (scheduling-balance diagnostics).
+  std::vector<std::size_t> tasks_per_worker;
+};
+
+using ExecSchedulerFactory = std::function<std::unique_ptr<Scheduler>(SchedContext)>;
+
+class ThreadExecutor {
+ public:
+  /// The perf database provides δ priors for the (initially uncalibrated)
+  /// history model; measured wall times refine it as the run progresses.
+  ThreadExecutor(const TaskGraph& graph, const Platform& platform,
+                 const PerfDatabase& perf);
+
+  /// Executes the whole DAG with real kernels. Every codelet reachable on a
+  /// CPU worker must have cpu_fn; GPU-only codelets must have gpu_fn or
+  /// cpu_fn. Aborts if a popped task has no runnable implementation.
+  ExecResult run(const ExecSchedulerFactory& make_scheduler);
+
+ private:
+  const TaskGraph& graph_;
+  const Platform& platform_;
+  const PerfDatabase& perf_;
+};
+
+}  // namespace mp

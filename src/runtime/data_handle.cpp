@@ -1,0 +1,20 @@
+#include "runtime/data_handle.hpp"
+
+#include "common/check.hpp"
+
+namespace mp {
+
+DataId HandleRegistry::register_data(std::size_t bytes, MemNodeId home, void* user_ptr,
+                                     std::string name) {
+  MP_CHECK_MSG(home.valid(), "data must have a home memory node");
+  const DataId id{handles_.size()};
+  handles_.push_back(DataHandle{id, bytes, home, user_ptr, std::move(name)});
+  return id;
+}
+
+const DataHandle& HandleRegistry::get(DataId id) const {
+  MP_CHECK(id.valid() && id.index() < handles_.size());
+  return handles_[id.index()];
+}
+
+}  // namespace mp

@@ -1,0 +1,227 @@
+#include "runtime/memory_manager.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace mp {
+
+namespace {
+[[nodiscard]] std::uint64_t pin_key(DataId d, MemNodeId m) {
+  return (static_cast<std::uint64_t>(d.value()) << 32) | m.value();
+}
+}  // namespace
+
+MemoryManager::MemoryManager(const TaskGraph& graph, const Platform& platform)
+    : graph_(graph), platform_(platform) {
+  const std::size_t n_nodes = platform.num_nodes();
+  nodes_.resize(n_nodes);
+  for (std::size_t i = 0; i < n_nodes; ++i)
+    nodes_[i].capacity = platform.node(MemNodeId{i}).capacity_bytes;
+  sync_new_handles();
+}
+
+void MemoryManager::sync_new_handles() const {
+  const std::size_t total = graph_.handles().count();
+  while (data_.size() < total) {
+    const DataId id{data_.size()};
+    const DataHandle& h = graph_.handles().get(id);
+    DataState ds;
+    ds.valid.assign(platform_.num_nodes(), false);
+    ds.valid[h.home.index()] = true;
+    ds.owner = h.home;
+    data_.push_back(std::move(ds));
+    // Home copies consume space on their node (matters only for GPU-homed
+    // data, which is unusual; RAM is unlimited).
+    NodeState& ns = nodes_[h.home.index()];
+    ns.where[id] = ns.lru.insert(ns.lru.end(), id);
+    ns.used += h.bytes;
+  }
+}
+
+bool MemoryManager::is_valid_on(DataId d, MemNodeId node) const {
+  sync_new_handles();
+  MP_ASSERT(d.index() < data_.size());
+  return data_[d.index()].valid[node.index()];
+}
+
+std::size_t MemoryManager::bytes_missing(TaskId t, MemNodeId node) const {
+  sync_new_handles();
+  std::size_t missing = 0;
+  for (const Access& a : graph_.task(t).accesses) {
+    if (!is_valid_on(a.data, node)) missing += graph_.handles().get(a.data).bytes;
+  }
+  return missing;
+}
+
+double MemoryManager::estimated_transfer_time(TaskId t, MemNodeId node) const {
+  sync_new_handles();
+  double time = 0.0;
+  for (const Access& a : graph_.task(t).accesses) {
+    const DataState& ds = data_[a.data.index()];
+    if (ds.valid[node.index()]) continue;
+    const MemNodeId src = any_valid_node(ds);
+    time += platform_.transfer_time(graph_.handles().get(a.data).bytes, src, node);
+  }
+  return time;
+}
+
+MemNodeId MemoryManager::any_valid_node(const DataState& ds) const {
+  // Prefer RAM as the source (cheapest single hop), else the first valid node.
+  if (ds.valid[platform_.ram_node().index()]) return platform_.ram_node();
+  for (std::size_t i = 0; i < ds.valid.size(); ++i)
+    if (ds.valid[i]) return MemNodeId{i};
+  MP_CHECK_MSG(false, "data handle has no valid copy anywhere");
+  return MemNodeId{};
+}
+
+void MemoryManager::touch(DataId d, MemNodeId node) {
+  NodeState& ns = nodes_[node.index()];
+  auto it = ns.where.find(d);
+  if (it != ns.where.end()) {
+    ns.lru.erase(it->second);
+    it->second = ns.lru.insert(ns.lru.end(), d);
+  } else {
+    ns.where[d] = ns.lru.insert(ns.lru.end(), d);
+  }
+}
+
+void MemoryManager::drop_copy(DataId d, MemNodeId node) {
+  NodeState& ns = nodes_[node.index()];
+  auto it = ns.where.find(d);
+  if (it == ns.where.end()) return;
+  ns.lru.erase(it->second);
+  ns.where.erase(it);
+  const std::size_t bytes = graph_.handles().get(d).bytes;
+  MP_ASSERT(ns.used >= bytes);
+  ns.used -= bytes;
+  data_[d.index()].valid[node.index()] = false;
+}
+
+bool MemoryManager::evict_until_fits(std::size_t need, MemNodeId node,
+                                     std::vector<TransferOp>& ops) {
+  NodeState& ns = nodes_[node.index()];
+  if (ns.capacity == 0) return true;  // unlimited
+  auto it = ns.lru.begin();
+  while (ns.used + need > ns.capacity && it != ns.lru.end()) {
+    const DataId victim = *it;
+    ++it;
+    auto pin = pin_count_.find(pin_key(victim, node));
+    if (pin != pin_count_.end() && pin->second > 0) continue;
+    DataState& ds = data_[victim.index()];
+    const std::size_t bytes = graph_.handles().get(victim).bytes;
+    const bool only_copy_here =
+        std::count(ds.valid.begin(), ds.valid.end(), true) == 1 && ds.valid[node.index()];
+    if (only_copy_here) {
+      // Write the authoritative copy back to RAM before dropping it.
+      const MemNodeId ram = platform_.ram_node();
+      ops.push_back(TransferOp{victim, node, ram, bytes, true});
+      ns.bytes_out += bytes;
+      nodes_[ram.index()].bytes_in += bytes;
+      ds.valid[ram.index()] = true;
+      touch(victim, ram);  // RAM is unlimited; no recursion
+      ds.owner = ram;
+    }
+    ++eviction_count_;
+    drop_copy(victim, node);
+  }
+  if (ns.used + need > ns.capacity) {
+    ++capacity_overflows_;
+    return false;
+  }
+  return true;
+}
+
+void MemoryManager::make_resident(DataId d, MemNodeId node, std::vector<TransferOp>& ops) {
+  DataState& ds = data_[d.index()];
+  if (ds.valid[node.index()]) {
+    touch(d, node);
+    return;
+  }
+  const std::size_t bytes = graph_.handles().get(d).bytes;
+  (void)evict_until_fits(bytes, node, ops);  // overflow counted, run continues
+  const MemNodeId src = any_valid_node(ds);
+  ops.push_back(TransferOp{d, src, node, bytes, false});
+  nodes_[src.index()].bytes_out += bytes;
+  nodes_[node.index()].bytes_in += bytes;
+  ds.valid[node.index()] = true;
+  nodes_[node.index()].used += bytes;
+  touch(d, node);
+}
+
+void MemoryManager::acquire_for_task(TaskId t, MemNodeId node, std::vector<TransferOp>& ops) {
+  sync_new_handles();
+  for (const Access& a : graph_.task(t).accesses) {
+    if (mode_reads(a.mode)) {
+      make_resident(a.data, node, ops);
+    } else {
+      // Write-only: no fetch needed, just allocation on the node.
+      DataState& ds = data_[a.data.index()];
+      if (!ds.valid[node.index()]) {
+        const std::size_t bytes = graph_.handles().get(a.data).bytes;
+        (void)evict_until_fits(bytes, node, ops);
+        ds.valid[node.index()] = true;
+        nodes_[node.index()].used += bytes;
+      }
+      touch(a.data, node);
+    }
+    if (mode_writes(a.mode)) {
+      // Invalidate every other copy; this node becomes the owner.
+      DataState& ds = data_[a.data.index()];
+      for (std::size_t i = 0; i < ds.valid.size(); ++i) {
+        if (i == node.index() || !ds.valid[i]) continue;
+        drop_copy(a.data, MemNodeId{i});
+      }
+      ds.dirty = (node != graph_.handles().get(a.data).home);
+      ds.owner = node;
+    }
+  }
+}
+
+void MemoryManager::prefetch(DataId d, MemNodeId node, std::vector<TransferOp>& ops) {
+  sync_new_handles();
+  DataState& ds = data_[d.index()];
+  if (ds.valid[node.index()]) return;
+  const std::size_t bytes = graph_.handles().get(d).bytes;
+  std::vector<TransferOp> evictions;
+  if (!evict_until_fits(bytes, node, evictions)) {
+    // Not worth forcing room for a prefetch; drop it (evictions already
+    // performed stand, as in a real runtime's best-effort prefetch).
+    ops.insert(ops.end(), evictions.begin(), evictions.end());
+    return;
+  }
+  ops.insert(ops.end(), evictions.begin(), evictions.end());
+  const MemNodeId src = any_valid_node(ds);
+  ops.push_back(TransferOp{d, src, node, bytes, false});
+  nodes_[src.index()].bytes_out += bytes;
+  nodes_[node.index()].bytes_in += bytes;
+  ds.valid[node.index()] = true;
+  nodes_[node.index()].used += bytes;
+  touch(d, node);
+}
+
+void MemoryManager::pin_task_data(TaskId t, MemNodeId node) {
+  for (const Access& a : graph_.task(t).accesses) ++pin_count_[pin_key(a.data, node)];
+}
+
+void MemoryManager::unpin_task_data(TaskId t, MemNodeId node) {
+  for (const Access& a : graph_.task(t).accesses) {
+    auto it = pin_count_.find(pin_key(a.data, node));
+    MP_ASSERT(it != pin_count_.end() && it->second > 0);
+    if (--it->second == 0) pin_count_.erase(it);
+  }
+}
+
+std::size_t MemoryManager::total_bytes_to(MemNodeId node) const {
+  return nodes_[node.index()].bytes_in;
+}
+
+std::size_t MemoryManager::total_bytes_from(MemNodeId node) const {
+  return nodes_[node.index()].bytes_out;
+}
+
+std::size_t MemoryManager::used_bytes(MemNodeId node) const {
+  return nodes_[node.index()].used;
+}
+
+}  // namespace mp

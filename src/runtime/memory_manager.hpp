@@ -1,0 +1,110 @@
+// MemoryManager: MSI data coherence over memory nodes, with device-memory
+// capacity tracking and LRU eviction — the data-management half of StarPU
+// that schedulers interact with (data locality queries, prefetch,
+// transfer-volume accounting).
+//
+// State-change semantics are commit-at-start: when the engine decides a task
+// (or a prefetch) will fetch data to a node, the coherence state is updated
+// immediately and the returned TransferOps carry the byte counts the engine
+// must charge to the link timeline. STF dependencies guarantee no
+// conflicting accesses overlap, so no in-flight states are needed.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "runtime/platform.hpp"
+#include "runtime/task_graph.hpp"
+
+namespace mp {
+
+/// One data movement the engine must account for on the link timeline.
+struct TransferOp {
+  DataId data;
+  MemNodeId from;
+  MemNodeId to;
+  std::size_t bytes = 0;
+  /// True when this is a capacity-eviction writeback rather than a fetch.
+  bool writeback = false;
+};
+
+class MemoryManager {
+ public:
+  MemoryManager(const TaskGraph& graph, const Platform& platform);
+
+  /// Makes every access of `t` valid on `node` (fetching missing copies,
+  /// invalidating remote copies for writes), evicting LRU data if the node
+  /// is capacity-limited. Appends the required movements to `ops`.
+  void acquire_for_task(TaskId t, MemNodeId node, std::vector<TransferOp>& ops);
+
+  /// Fetches a read-only copy of `d` onto `node` ahead of time (Dmdas-style
+  /// prefetch). No-op if already valid there or if eviction cannot make room.
+  void prefetch(DataId d, MemNodeId node, std::vector<TransferOp>& ops);
+
+  /// Pin/unpin the accesses of a running task so eviction skips them.
+  void pin_task_data(TaskId t, MemNodeId node);
+  void unpin_task_data(TaskId t, MemNodeId node);
+
+  // --- queries used by schedulers ----------------------------------------
+
+  [[nodiscard]] bool is_valid_on(DataId d, MemNodeId node) const;
+
+  /// Bytes of `t`'s accesses *not* yet valid on `node` — the demand-fetch
+  /// volume a scheduler should expect (Dmda's transfer-cost term).
+  [[nodiscard]] std::size_t bytes_missing(TaskId t, MemNodeId node) const;
+
+  /// Estimated wire time to satisfy `t` on `node` given current placement.
+  [[nodiscard]] double estimated_transfer_time(TaskId t, MemNodeId node) const;
+
+  // --- statistics ----------------------------------------------------------
+
+  [[nodiscard]] std::size_t total_bytes_to(MemNodeId node) const;
+  [[nodiscard]] std::size_t total_bytes_from(MemNodeId node) const;
+  [[nodiscard]] std::size_t used_bytes(MemNodeId node) const;
+  /// Number of times an allocation had to exceed the node capacity because
+  /// everything resident was pinned (should stay 0 in healthy runs).
+  [[nodiscard]] std::size_t capacity_overflows() const { return capacity_overflows_; }
+  [[nodiscard]] std::size_t eviction_count() const { return eviction_count_; }
+
+ private:
+  struct DataState {
+    std::vector<bool> valid;  // per node
+    bool dirty = false;       // some node holds a newer copy than home
+    MemNodeId owner;          // node holding the authoritative copy if dirty
+  };
+
+  struct NodeState {
+    std::size_t capacity = 0;  // 0 = unlimited
+    std::size_t used = 0;
+    std::list<DataId> lru;  // front = least recently used
+    std::unordered_map<DataId, std::list<DataId>::iterator> where;
+    std::size_t bytes_in = 0;
+    std::size_t bytes_out = 0;
+  };
+
+  /// Appends per-handle state for handles registered after construction
+  /// (STF graphs may keep growing); called by every public entry point.
+  void sync_new_handles() const;
+
+  void make_resident(DataId d, MemNodeId node, std::vector<TransferOp>& ops);
+  void touch(DataId d, MemNodeId node);
+  void drop_copy(DataId d, MemNodeId node);
+  /// Frees at least `need` bytes on `node` by LRU eviction; returns false if
+  /// pinned data prevented it.
+  bool evict_until_fits(std::size_t need, MemNodeId node, std::vector<TransferOp>& ops);
+  [[nodiscard]] MemNodeId any_valid_node(const DataState& ds) const;
+
+  const TaskGraph& graph_;
+  const Platform& platform_;
+  // Mutable: lazily extended by sync_new_handles() from const queries.
+  mutable std::vector<DataState> data_;
+  mutable std::vector<NodeState> nodes_;
+  std::unordered_map<std::uint64_t, int> pin_count_;  // (data,node) -> pins
+  std::size_t capacity_overflows_ = 0;
+  std::size_t eviction_count_ = 0;
+};
+
+}  // namespace mp

@@ -1,0 +1,103 @@
+#include "runtime/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+#include "common/check.hpp"
+
+namespace mp {
+
+namespace {
+constexpr double kMinTime = 1e-9;  // never report a zero/negative duration
+
+[[nodiscard]] double apply_rate(const RateSpec& r, double flops, double bytes) {
+  double t = r.overhead_s + (flops + r.flops_half) / (r.gflops * 1e9);
+  if (r.bytes_per_s > 0.0) t += bytes / r.bytes_per_s;
+  return std::max(t, kMinTime);
+}
+}  // namespace
+
+void PerfDatabase::set_rate(const std::string& codelet_name, ArchType arch, RateSpec spec) {
+  MP_CHECK(spec.gflops > 0.0);
+  rates_[codelet_name][arch_index(arch)] = spec;
+}
+
+void PerfDatabase::set_default(ArchType arch, RateSpec spec) {
+  MP_CHECK(spec.gflops > 0.0);
+  defaults_[arch_index(arch)] = spec;
+}
+
+const RateSpec& PerfDatabase::rate(const std::string& codelet_name, ArchType arch) const {
+  auto it = rates_.find(codelet_name);
+  if (it != rates_.end() && it->second[arch_index(arch)].has_value())
+    return *it->second[arch_index(arch)];
+  return defaults_[arch_index(arch)];
+}
+
+double PerfDatabase::ground_truth(const TaskGraph& graph, TaskId t, ArchType a) const {
+  const Task& task = graph.task(t);
+  const Codelet& cl = graph.codelet_of(t);
+  MP_CHECK_MSG(cl.can_exec(a), "no implementation for this arch");
+  return apply_rate(rate(cl.name, a), task.flops,
+                    static_cast<double>(task.footprint_bytes));
+}
+
+HistoryModel::HistoryModel(const TaskGraph& graph, const PerfDatabase& truth)
+    : graph_(graph), truth_(truth) {}
+
+std::uint64_t HistoryModel::key(TaskId t, ArchType a) const {
+  const Task& task = graph_.task(t);
+  // (codelet, arch, footprint) — StarPU keys history models by a hash of the
+  // data sizes; the footprint byte count plays that role here.
+  std::uint64_t h = task.codelet.value();
+  h = h * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(arch_index(a));
+  h = h * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(task.footprint_bytes);
+  return h;
+}
+
+double HistoryModel::estimate(TaskId t, ArchType a) const {
+  auto it = buckets_.find(key(t, a));
+  if (it != buckets_.end() && it->second.count >= calibration_min_)
+    return it->second.mean;
+  // Uncalibrated prior: default-rate estimate from the task's flops.
+  const Task& task = graph_.task(t);
+  return apply_rate(truth_.rate("", a), task.flops,
+                    static_cast<double>(task.footprint_bytes));
+}
+
+bool HistoryModel::is_calibrated(TaskId t, ArchType a) const {
+  auto it = buckets_.find(key(t, a));
+  return it != buckets_.end() && it->second.count >= calibration_min_;
+}
+
+void HistoryModel::record(TaskId t, ArchType a, double measured_s) {
+  MP_CHECK(measured_s > 0.0);
+  Bucket& b = buckets_[key(t, a)];
+  ++b.count;
+  b.mean += (measured_s - b.mean) / static_cast<double>(b.count);
+}
+
+void HistoryModel::seed_from_truth(double bias_sigma, std::uint64_t bias_seed) {
+  for (std::size_t i = 0; i < graph_.num_tasks(); ++i) {
+    const TaskId t{i};
+    const Codelet& cl = graph_.codelet_of(t);
+    for (std::size_t ai = 0; ai < kNumArchTypes; ++ai) {
+      const auto a = static_cast<ArchType>(ai);
+      if (!cl.can_exec(a)) continue;
+      const std::uint64_t k = key(t, a);
+      Bucket& b = buckets_[k];
+      if (b.count == 0) {
+        b.count = calibration_min_;
+        b.mean = truth_.ground_truth(graph_, t, a);
+        if (bias_sigma > 0.0) {
+          Rng rng = Rng::derive(bias_seed, k);
+          b.mean *= std::exp(bias_sigma * rng.next_normal());
+        }
+      }
+    }
+  }
+}
+
+}  // namespace mp

@@ -1,0 +1,53 @@
+#include "runtime/scheduler.hpp"
+
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace mp {
+
+std::vector<ArchType> enabled_archs(const SchedContext& ctx, TaskId t) {
+  std::vector<ArchType> out;
+  for (std::size_t ai = 0; ai < kNumArchTypes; ++ai) {
+    const auto a = static_cast<ArchType>(ai);
+    if (ctx.graph->can_exec(t, a) && ctx.platform->worker_count(a) > 0) out.push_back(a);
+  }
+  return out;
+}
+
+ArchType best_arch_for(const SchedContext& ctx, TaskId t) {
+  double best = std::numeric_limits<double>::infinity();
+  std::optional<ArchType> best_a;
+  for (ArchType a : enabled_archs(ctx, t)) {
+    const double d = ctx.perf->estimate(t, a);
+    if (d < best) {
+      best = d;
+      best_a = a;
+    }
+  }
+  MP_CHECK_MSG(best_a.has_value(), "task has no enabled architecture");
+  return *best_a;
+}
+
+std::optional<ArchType> second_arch_for(const SchedContext& ctx, TaskId t) {
+  const ArchType first = best_arch_for(ctx, t);
+  double best = std::numeric_limits<double>::infinity();
+  std::optional<ArchType> second;
+  for (ArchType a : enabled_archs(ctx, t)) {
+    if (a == first) continue;
+    const double d = ctx.perf->estimate(t, a);
+    if (d < best) {
+      best = d;
+      second = a;
+    }
+  }
+  return second;
+}
+
+double normalized_speedup(const SchedContext& ctx, TaskId t, ArchType a) {
+  const ArchType best = best_arch_for(ctx, t);
+  if (best == a) return 1.0;
+  return ctx.perf->estimate(t, best) / ctx.perf->estimate(t, a);
+}
+
+}  // namespace mp

@@ -1,0 +1,88 @@
+// The pluggable scheduling-policy interface (StarPU's PUSH/POP contract).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "common/ids.hpp"
+#include "runtime/memory_manager.hpp"
+#include "runtime/perf_model.hpp"
+#include "runtime/platform.hpp"
+#include "runtime/task_graph.hpp"
+
+namespace mp {
+
+/// Engine-provided hook a policy can use to request data prefetch (Dmdas
+/// maps tasks at PUSH time and prefetches their data to the target node).
+class PrefetchSink {
+ public:
+  virtual ~PrefetchSink() = default;
+  virtual void request_prefetch(DataId data, MemNodeId node) = 0;
+};
+
+/// Everything a policy may inspect — the scheduler-visible surface of the
+/// runtime (graph topology, platform, δ(t,a) estimates, data placement).
+struct SchedContext {
+  const TaskGraph* graph = nullptr;
+  const Platform* platform = nullptr;
+  HistoryModel* perf = nullptr;
+  MemoryManager* memory = nullptr;
+  /// Current (virtual or wall-clock) time in seconds.
+  std::function<double()> now;
+  /// May be null when the engine does not support prefetching.
+  PrefetchSink* prefetch = nullptr;
+};
+
+/// A scheduling policy. The engine calls push() when a task becomes ready
+/// and pop() when a worker is idle. pop() returning nullopt parks the worker
+/// until the engine wakes it on the next state change (push, completion, or
+/// a successful pop by another worker).
+class Scheduler {
+ public:
+  explicit Scheduler(SchedContext ctx) : ctx_(std::move(ctx)) {}
+  virtual ~Scheduler() = default;
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  virtual void push(TaskId t) = 0;
+  [[nodiscard]] virtual std::optional<TaskId> pop(WorkerId w) = 0;
+
+  /// Notifications (optional for policies that track load).
+  virtual void on_task_start(TaskId /*t*/, WorkerId /*w*/) {}
+  virtual void on_task_end(TaskId /*t*/, WorkerId /*w*/) {}
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Number of tasks pushed but not yet popped (for engine sanity checks).
+  [[nodiscard]] virtual std::size_t pending_count() const = 0;
+
+  /// Cheap hint: could pop(w) possibly return a task right now? Engines use
+  /// it to avoid waking workers that have nothing to look at. Must never
+  /// return false when a pop would succeed; returning true spuriously only
+  /// costs a failed pop.
+  [[nodiscard]] virtual bool has_work_hint(WorkerId /*w*/) const { return true; }
+
+ protected:
+  [[nodiscard]] const SchedContext& ctx() const { return ctx_; }
+  SchedContext ctx_;
+};
+
+// --- helpers shared by several policies ------------------------------------
+
+/// Architectures that both have an implementation of `t` and at least one
+/// worker on the platform, i.e. the archs the task can actually run on.
+[[nodiscard]] std::vector<ArchType> enabled_archs(const SchedContext& ctx, TaskId t);
+
+/// Fastest enabled arch for `t` according to δ(t,a); requires ≥1 enabled.
+[[nodiscard]] ArchType best_arch_for(const SchedContext& ctx, TaskId t);
+
+/// Second-fastest enabled arch, or nullopt when only one arch is enabled.
+[[nodiscard]] std::optional<ArchType> second_arch_for(const SchedContext& ctx, TaskId t);
+
+/// 1.0 when `a` is the fastest enabled arch for `t`, < 1.0 otherwise
+/// (δ(t,best)/δ(t,a)) — the paper's normalized_speedup(t,a).
+[[nodiscard]] double normalized_speedup(const SchedContext& ctx, TaskId t, ArchType a);
+
+}  // namespace mp

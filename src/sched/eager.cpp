@@ -1,0 +1,51 @@
+#include <deque>
+
+#include "common/check.hpp"
+#include "sched/schedulers.hpp"
+
+namespace mp {
+
+namespace {
+
+/// StarPU's "eager" policy: one central queue; the highest user priority is
+/// served first, FIFO among equals. A worker skips tasks its architecture
+/// cannot execute.
+class EagerScheduler final : public Scheduler {
+ public:
+  explicit EagerScheduler(SchedContext ctx) : Scheduler(std::move(ctx)) {}
+
+  void push(TaskId t) override {
+    const std::int64_t prio = ctx_.graph->task(t).user_priority;
+    // Insert before the first entry with strictly lower priority (stable).
+    auto it = queue_.begin();
+    while (it != queue_.end() && ctx_.graph->task(*it).user_priority >= prio) ++it;
+    queue_.insert(it, t);
+  }
+
+  std::optional<TaskId> pop(WorkerId w) override {
+    const ArchType a = ctx_.platform->worker(w).arch;
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (ctx_.graph->can_exec(*it, a)) {
+        const TaskId t = *it;
+        queue_.erase(it);
+        return t;
+      }
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::string name() const override { return "eager"; }
+  [[nodiscard]] std::size_t pending_count() const override { return queue_.size(); }
+  [[nodiscard]] bool has_work_hint(WorkerId) const override { return !queue_.empty(); }
+
+ private:
+  std::deque<TaskId> queue_;
+};
+
+}  // namespace
+
+std::unique_ptr<Scheduler> make_eager(SchedContext ctx) {
+  return std::make_unique<EagerScheduler>(std::move(ctx));
+}
+
+}  // namespace mp

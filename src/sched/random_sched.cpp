@@ -1,0 +1,59 @@
+#include <deque>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "sched/schedulers.hpp"
+
+namespace mp {
+
+namespace {
+
+/// Push-time assignment to a uniformly random capable worker; each worker
+/// drains its own FIFO. The classic do-nothing baseline.
+class RandomScheduler final : public Scheduler {
+ public:
+  RandomScheduler(SchedContext ctx, std::uint64_t seed)
+      : Scheduler(std::move(ctx)), rng_(seed) {
+    queues_.resize(ctx_.platform->num_workers());
+  }
+
+  void push(TaskId t) override {
+    std::vector<WorkerId> capable;
+    for (const Worker& w : ctx_.platform->workers())
+      if (ctx_.graph->can_exec(t, w.arch)) capable.push_back(w.id);
+    MP_CHECK_MSG(!capable.empty(), "task has no capable worker");
+    const std::size_t pick =
+        static_cast<std::size_t>(rng_.next_in(0, capable.size() - 1));
+    queues_[capable[pick].index()].push_back(t);
+    ++pending_;
+  }
+
+  std::optional<TaskId> pop(WorkerId w) override {
+    auto& q = queues_[w.index()];
+    if (q.empty()) return std::nullopt;
+    const TaskId t = q.front();
+    q.pop_front();
+    --pending_;
+    return t;
+  }
+
+  [[nodiscard]] std::string name() const override { return "random"; }
+  [[nodiscard]] std::size_t pending_count() const override { return pending_; }
+  [[nodiscard]] bool has_work_hint(WorkerId w) const override {
+    return !queues_[w.index()].empty();
+  }
+
+ private:
+  Rng rng_;
+  std::vector<std::deque<TaskId>> queues_;
+  std::size_t pending_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Scheduler> make_random(SchedContext ctx, std::uint64_t seed) {
+  return std::make_unique<RandomScheduler>(std::move(ctx), seed);
+}
+
+}  // namespace mp

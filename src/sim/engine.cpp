@@ -1,0 +1,286 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace mp {
+
+SimEngine::SimEngine(const TaskGraph& graph, const Platform& platform,
+                     const PerfDatabase& perf, SimConfig config)
+    : graph_(graph), platform_(platform), perf_(perf), cfg_(config) {
+  platform_.self_check();
+  graph_.self_check();
+  link_free_at_.assign(platform.num_nodes(), 0.0);
+  pipeline_free_at_.assign(platform.num_workers(), 0.0);
+  worker_busy_.assign(platform.num_workers(), false);
+  pending_.assign(platform.num_workers(), {});
+  trypop_pending_.assign(platform.num_workers(), false);
+  exec_end_.assign(graph.num_tasks(), 0.0);
+  exec_duration_.assign(graph.num_tasks(), 0.0);
+}
+
+const Trace& SimEngine::trace() const {
+  MP_CHECK_MSG(trace_ != nullptr, "run() first");
+  return *trace_;
+}
+
+const MemoryManager& SimEngine::memory() const {
+  MP_CHECK_MSG(memory_ != nullptr, "run() first");
+  return *memory_;
+}
+
+const HistoryModel& SimEngine::history() const {
+  MP_CHECK_MSG(history_ != nullptr, "run() first");
+  return *history_;
+}
+
+Scheduler& SimEngine::scheduler() {
+  MP_CHECK_MSG(sched_ != nullptr, "run() first");
+  return *sched_;
+}
+
+void SimEngine::request_prefetch(DataId data, MemNodeId node) {
+  if (!running_) return;
+  std::vector<TransferOp> ops;
+  memory_->prefetch(data, node, ops);
+  (void)charge_transfers(ops, now_);
+}
+
+void SimEngine::schedule_try_pop(WorkerId w, double time) {
+  if (trypop_pending_[w.index()]) return;
+  trypop_pending_[w.index()] = true;
+  event_heap_.push_back(Event{time, next_seq_++, Event::Kind::TryPop, w, TaskId{}});
+  std::push_heap(event_heap_.begin(), event_heap_.end(),
+                 [](const Event& a, const Event& b) { return a.after(b); });
+}
+
+void SimEngine::wake_idle_workers() {
+  // Rotate the wake order so no worker class systematically outraces the
+  // others to freshly pushed tasks (real workers poll concurrently).
+  const std::size_t n = platform_.num_workers();
+  for (std::size_t off = 0; off < n; ++off) {
+    const std::size_t wi = (wake_rotor_ + off) % n;
+    const WorkerId w{wi};
+    const bool slots_free = pending_[wi].size() < cfg_.pipeline_depth;
+    const bool wants_work =
+        (!worker_busy_[wi] && pending_[wi].empty()) ||
+        (worker_busy_[wi] && cfg_.pipeline_depth > 0 && slots_free);
+    if (wants_work && sched_->has_work_hint(w)) schedule_try_pop(w, now_);
+  }
+  wake_rotor_ = (wake_rotor_ + 1) % std::max<std::size_t>(1, n);
+}
+
+void SimEngine::push_ready(TaskId t) { sched_->push(t); }
+
+double SimEngine::charge_transfers(const std::vector<TransferOp>& ops, double start) {
+  double done = start;
+  for (const TransferOp& op : ops) {
+    // A transfer crosses the link of every GPU endpoint it touches; GPU→GPU
+    // hops through RAM and serializes on both device links.
+    double t = start;
+    for (MemNodeId endpoint : {op.from, op.to}) {
+      const MemNode& n = platform_.node(endpoint);
+      if (n.kind != MemNodeKind::Gpu) continue;
+      const double begin = std::max(t, link_free_at_[endpoint.index()]);
+      const double wire =
+          n.latency_s + static_cast<double>(op.bytes) / n.bandwidth_bytes_per_s;
+      link_free_at_[endpoint.index()] = begin + wire;
+      t = begin + wire;
+    }
+    done = std::max(done, t);
+  }
+  return done;
+}
+
+bool SimEngine::fill_pending(WorkerId w) {
+  const std::optional<TaskId> popped = sched_->pop(w);
+  if (!popped) {
+    ++failed_pops_;
+    return false;
+  }
+  const TaskId t = *popped;
+  const Worker& worker = platform_.worker(w);
+  MP_CHECK_MSG(graph_.can_exec(t, worker.arch), "scheduler mapped task to wrong arch");
+  std::vector<TransferOp> ops;
+  memory_->acquire_for_task(t, worker.node, ops);
+  const double ready = charge_transfers(ops, now_);
+  memory_->pin_task_data(t, worker.node);
+
+  double duration = perf_.ground_truth(graph_, t, worker.arch);
+  if (cfg_.noise_sigma > 0.0) {
+    Rng rng = Rng::derive(cfg_.seed, t.value());
+    duration *= std::max(0.05, 1.0 + cfg_.noise_sigma * rng.next_normal());
+  }
+
+  // Commute mutual exclusion: reserve the handles' serialization points at
+  // the task's exact predicted start (durations are deterministic, so the
+  // pipeline drain prediction is exact).
+  double start_floor = 0.0;
+  bool has_commute = false;
+  for (const Access& a : graph_.task(t).accesses)
+    has_commute = has_commute || a.mode == AccessMode::Commute;
+  double& pfa = pipeline_free_at_[w.index()];
+  double start = std::max({pfa, now_, ready});
+  if (has_commute) {
+    for (const Access& a : graph_.task(t).accesses) {
+      if (a.mode != AccessMode::Commute) continue;
+      auto it = commute_free_at_.find(a.data);
+      if (it != commute_free_at_.end()) start = std::max(start, it->second);
+    }
+    for (const Access& a : graph_.task(t).accesses) {
+      if (a.mode == AccessMode::Commute) commute_free_at_[a.data] = start + duration;
+    }
+    start_floor = start;
+  }
+  pfa = start + duration;
+
+  pending_[w.index()].push_back(PendingTask{t, now_, ready, start_floor, duration});
+  return true;
+}
+
+void SimEngine::start_pending(WorkerId w) {
+  MP_ASSERT(!pending_[w.index()].empty() && !worker_busy_[w.index()]);
+  const PendingTask p = pending_[w.index()].front();
+  pending_[w.index()].erase(pending_[w.index()].begin());
+  worker_busy_[w.index()] = true;
+
+  const double exec_start = std::max({now_, p.data_ready_at, p.start_floor});
+  const double duration = p.duration;
+  const double end = exec_start + duration;
+  exec_end_[p.task.index()] = end;
+  exec_duration_[p.task.index()] = duration;
+
+  // Stall the worker actually observed: it was free at now_, data landed at
+  // data_ready_at; pipelined transfers that finished during the previous
+  // execution cost nothing.
+  const double stall = std::max(0.0, p.data_ready_at - now_);
+  trace_->record(TraceSegment{p.task, w, p.popped_at, exec_start, end, stall});
+  sched_->on_task_start(p.task, w);
+
+  event_heap_.push_back(Event{end, next_seq_++, Event::Kind::Complete, w, p.task});
+  std::push_heap(event_heap_.begin(), event_heap_.end(),
+                 [](const Event& a, const Event& b) { return a.after(b); });
+}
+
+void SimEngine::handle_try_pop(WorkerId w) {
+  trypop_pending_[w.index()] = false;
+  bool took_something = false;
+  if (!worker_busy_[w.index()]) {
+    // Start work: either the pipelined pending task or a fresh pop.
+    if (!pending_[w.index()].empty() || fill_pending(w)) {
+      start_pending(w);
+      took_something = true;
+    }
+  } else if (cfg_.pipeline_depth > 0 &&
+             pending_[w.index()].size() < cfg_.pipeline_depth) {
+    // Pipeline: a busy worker with a free slot pops an upcoming task so its
+    // data transfers overlap with the current execution (as StarPU's worker
+    // prefetch pipeline does). One fill per event — further fills are
+    // deferred so idle peers get to start their own tasks first.
+    took_something = fill_pending(w);
+  }
+  if (took_something) {
+    if (worker_busy_[w.index()] && pending_[w.index()].size() < cfg_.pipeline_depth) {
+      schedule_try_pop(w, now_);  // deferred next pipeline fill
+    }
+    // A successful pop changes scheduler state (queues, remaining-work
+    // ledgers): parked workers re-evaluate.
+    wake_idle_workers();
+  }
+}
+
+void SimEngine::handle_complete(const Event& e) {
+  const Worker& worker = platform_.worker(e.worker);
+  memory_->unpin_task_data(e.task, worker.node);
+  // Feed the history model with the measured duration (includes noise), as
+  // StarPU's calibration does.
+  history_->record(e.task, worker.arch, std::max(1e-12, exec_duration_[e.task.index()]));
+  worker_busy_[e.worker.index()] = false;
+
+  // Notify completion before pushing the released successors so policies
+  // with push-site locality (LWS) know which worker produced them.
+  sched_->on_task_end(e.task, e.worker);
+  std::vector<TaskId> newly;
+  deps_->complete(e.task, newly);
+  for (TaskId t : newly) push_ready(t);
+
+  schedule_try_pop(e.worker, now_);
+  wake_idle_workers();
+}
+
+SimResult SimEngine::run(const SchedulerFactory& make_scheduler) {
+  MP_CHECK_MSG(!running_ && trace_ == nullptr, "engine is single-shot");
+  history_ = std::make_unique<HistoryModel>(graph_, perf_);
+  if (cfg_.calibrated) history_->seed_from_truth(cfg_.calibration_bias_sigma, cfg_.seed);
+  memory_ = std::make_unique<MemoryManager>(graph_, platform_);
+  trace_ = std::make_unique<Trace>(graph_, platform_);
+  deps_ = std::make_unique<DepCounters>(graph_);
+
+  SchedContext ctx;
+  ctx.graph = &graph_;
+  ctx.platform = &platform_;
+  ctx.perf = history_.get();
+  ctx.memory = memory_.get();
+  ctx.now = [this] { return now_; };
+  ctx.prefetch = this;
+  sched_ = make_scheduler(std::move(ctx));
+  MP_CHECK(sched_ != nullptr);
+  running_ = true;
+
+  for (TaskId t : graph_.initial_ready()) push_ready(t);
+  for (std::size_t wi = 0; wi < platform_.num_workers(); ++wi)
+    schedule_try_pop(WorkerId{wi}, 0.0);
+
+  const std::size_t max_events =
+      cfg_.max_events > 0 ? cfg_.max_events
+                          : 1000 + graph_.num_tasks() * (20 + 4 * platform_.num_workers());
+  std::size_t processed = 0;
+  while (!event_heap_.empty()) {
+    std::pop_heap(event_heap_.begin(), event_heap_.end(),
+                  [](const Event& a, const Event& b) { return a.after(b); });
+    const Event e = event_heap_.back();
+    event_heap_.pop_back();
+    MP_CHECK(e.time >= now_ - 1e-12);
+    now_ = std::max(now_, e.time);
+    if (e.kind == Event::Kind::TryPop) {
+      handle_try_pop(e.worker);
+    } else {
+      handle_complete(e);
+    }
+    MP_CHECK_MSG(++processed <= max_events,
+                 "event explosion: scheduler livelock or engine bug");
+  }
+  running_ = false;
+
+  MP_CHECK_MSG(trace_->num_executed() == graph_.num_tasks(),
+               "simulation ended with unexecuted tasks (scheduler lost tasks?)");
+  MP_CHECK_MSG(sched_->pending_count() == 0, "scheduler still holds tasks");
+  trace_->validate();
+
+  SimResult r;
+  r.makespan = trace_->makespan();
+  r.gflops = trace_->gflops();
+  r.tasks_executed = trace_->num_executed();
+  for (const MemNode& n : platform_.nodes()) {
+    if (n.kind != MemNodeKind::Gpu) continue;
+    r.bytes_to_gpus += memory_->total_bytes_to(n.id);
+    r.bytes_from_gpus += memory_->total_bytes_from(n.id);
+  }
+  r.evictions = memory_->eviction_count();
+  r.failed_pops = failed_pops_;
+  r.idle_per_node.resize(platform_.num_nodes());
+  for (std::size_t mi = 0; mi < platform_.num_nodes(); ++mi)
+    r.idle_per_node[mi] = trace_->idle_fraction_node(MemNodeId{mi});
+  return r;
+}
+
+SimResult simulate(const TaskGraph& graph, const Platform& platform,
+                   const PerfDatabase& perf, const SchedulerFactory& make_scheduler,
+                   SimConfig config) {
+  SimEngine engine(graph, platform, perf, config);
+  return engine.run(make_scheduler);
+}
+
+}  // namespace mp

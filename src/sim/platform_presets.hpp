@@ -1,0 +1,45 @@
+// Simulated platform presets calibrated to the paper's two machines
+// (Section VI) plus the small node of the Fig. 4 eviction study.
+//
+//  * Intel-V100: 2× Xeon Gold 6142 (32 cores), 2× Nvidia V100 16 GB, PCIe3.
+//  * AMD-A100:  2× EPYC 7513 (64 cores, each ~2× slower than the Xeon
+//    cores), 2× Nvidia A100 40 GB (much faster), PCIe4.
+//
+// Worker layout follows StarPU: one CPU core per GPU is dedicated to
+// driving the device, the rest are CPU workers; `streams_per_gpu` workers
+// share each GPU memory node (concurrent CUDA streams, varied in Fig. 6).
+//
+// Kernel rate tables cover the codelet names used by the bundled
+// applications (dense tiles, FMM operators, sparse-QR fronts). Rates are
+// per-worker sustained GFlop/s; GPUs additionally have launch overhead and
+// a saturation term so small tasks run far below peak.
+#pragma once
+
+#include <string>
+
+#include "runtime/perf_model.hpp"
+#include "runtime/platform.hpp"
+
+namespace mp {
+
+struct PlatformPreset {
+  std::string name;
+  Platform platform;
+  PerfDatabase perf;
+};
+
+/// The Intel-V100 node of the paper (32 cores, 2 V100): 30 CPU workers +
+/// `streams_per_gpu` GPU workers per device.
+[[nodiscard]] PlatformPreset intel_v100(std::size_t streams_per_gpu = 1);
+
+/// The AMD-A100 node of the paper (64 cores, 2 A100): 62 CPU workers +
+/// `streams_per_gpu` GPU workers per device.
+[[nodiscard]] PlatformPreset amd_a100(std::size_t streams_per_gpu = 1);
+
+/// The small node of Fig. 4: 1 GPU + 6 CPUs (V100-like rates).
+[[nodiscard]] PlatformPreset fig4_node();
+
+/// A tiny 1-GPU + 2-CPU node for fast unit tests.
+[[nodiscard]] PlatformPreset test_node();
+
+}  // namespace mp

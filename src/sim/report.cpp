@@ -1,0 +1,93 @@
+#include "sim/report.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/csv.hpp"
+
+namespace mp {
+
+TraceReport::TraceReport(const Trace& trace, const TaskGraph& graph,
+                         const Platform& platform)
+    : trace_(trace), platform_(platform) {
+  std::map<std::string, CodeletReport> by_codelet;
+  std::map<std::uint32_t, NodeReport> by_node;
+
+  for (const TraceSegment& s : trace.segments()) {
+    const Worker& w = platform.worker(s.worker);
+    const double busy = s.end - s.exec_start;
+    CodeletReport& cr = by_codelet[graph.codelet_of(s.task).name];
+    cr.codelet = graph.codelet_of(s.task).name;
+    if (w.arch == ArchType::GPU) {
+      ++cr.count_gpu;
+      cr.busy_gpu_s += busy;
+    } else {
+      ++cr.count_cpu;
+      cr.busy_cpu_s += busy;
+    }
+    cr.stall_s += s.data_stall;
+    busy_total_[arch_index(w.arch)] += busy;
+
+    NodeReport& nr = by_node[w.node.value()];
+    nr.node = w.node;
+    nr.name = platform.node(w.node).name;
+    ++nr.tasks;
+    nr.busy_s += busy;
+  }
+
+  for (auto& [_, cr] : by_codelet) codelets_.push_back(cr);
+  std::sort(codelets_.begin(), codelets_.end(), [](const auto& a, const auto& b) {
+    return a.busy_cpu_s + a.busy_gpu_s > b.busy_cpu_s + b.busy_gpu_s;
+  });
+  for (auto& [_, nr] : by_node) {
+    nr.idle_fraction = trace.idle_fraction_node(nr.node);
+    nodes_.push_back(nr);
+  }
+
+  // Practical critical path in execution seconds.
+  for (TaskId t : trace.practical_critical_path()) {
+    for (const TraceSegment& s : trace.segments()) {
+      if (s.task == t) {
+        critical_path_s_ += s.end - s.exec_start;
+        break;
+      }
+    }
+  }
+  const double total_busy = busy_total_[0] + busy_total_[1];
+  work_bound_s_ =
+      platform.num_workers() > 0 ? total_busy / static_cast<double>(platform.num_workers())
+                                 : 0.0;
+}
+
+double TraceReport::work_share(ArchType a) const {
+  const double total = busy_total_[0] + busy_total_[1];
+  return total > 0.0 ? busy_total_[arch_index(a)] / total : 0.0;
+}
+
+double TraceReport::efficiency_bound_ratio() const {
+  const double bound = std::max(critical_path_s_, work_bound_s_);
+  return bound > 0.0 ? trace_.makespan() / bound : 0.0;
+}
+
+std::string TraceReport::to_string() const {
+  std::string out;
+  Table ct({"codelet", "on CPU", "on GPU", "CPU busy (s)", "GPU busy (s)", "stall (s)"});
+  for (const CodeletReport& c : codelets_) {
+    ct.add_row({c.codelet, std::to_string(c.count_cpu), std::to_string(c.count_gpu),
+                fmt_double(c.busy_cpu_s, 3), fmt_double(c.busy_gpu_s, 3),
+                fmt_double(c.stall_s, 3)});
+  }
+  out += ct.to_ascii();
+  Table nt({"node", "tasks", "busy (s)", "idle"});
+  for (const NodeReport& n : nodes_) {
+    nt.add_row({n.name, std::to_string(n.tasks), fmt_double(n.busy_s, 3),
+                fmt_percent(n.idle_fraction)});
+  }
+  out += nt.to_ascii();
+  out += "makespan " + fmt_double(trace_.makespan(), 4) + " s, critical path " +
+         fmt_double(critical_path_s_, 4) + " s, bound ratio " +
+         fmt_double(efficiency_bound_ratio(), 2) + "\n";
+  return out;
+}
+
+}  // namespace mp

@@ -1,0 +1,63 @@
+// Post-mortem analysis of an execution trace: per-codelet and per-node
+// breakdowns of where the time went — the numbers one reads off a StarVZ
+// trace when debugging a scheduler decision.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace mp {
+
+/// Aggregated execution statistics for one codelet type.
+struct CodeletReport {
+  std::string codelet;
+  std::size_t count_cpu = 0;
+  std::size_t count_gpu = 0;
+  double busy_cpu_s = 0.0;
+  double busy_gpu_s = 0.0;
+  double stall_s = 0.0;  ///< data stalls attributed to this codelet
+};
+
+/// Aggregated statistics for one memory node's workers.
+struct NodeReport {
+  MemNodeId node;
+  std::string name;
+  std::size_t tasks = 0;
+  double busy_s = 0.0;
+  double idle_fraction = 0.0;
+};
+
+class TraceReport {
+ public:
+  TraceReport(const Trace& trace, const TaskGraph& graph, const Platform& platform);
+
+  [[nodiscard]] const std::vector<CodeletReport>& codelets() const { return codelets_; }
+  [[nodiscard]] const std::vector<NodeReport>& nodes() const { return nodes_; }
+
+  /// Fraction of all executed task-seconds spent on each architecture.
+  [[nodiscard]] double work_share(ArchType a) const;
+
+  /// Length (in seconds of execution) of the practical critical path — the
+  /// lower bound the makespan is judged against.
+  [[nodiscard]] double critical_path_seconds() const { return critical_path_s_; }
+
+  /// Ratio makespan / max(critical path, work/width): 1.0 = no scheduling
+  /// slack left on this trace.
+  [[nodiscard]] double efficiency_bound_ratio() const;
+
+  /// Human-readable summary table.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  const Trace& trace_;
+  const Platform& platform_;
+  std::vector<CodeletReport> codelets_;
+  std::vector<NodeReport> nodes_;
+  double busy_total_[kNumArchTypes] = {0.0, 0.0};
+  double critical_path_s_ = 0.0;
+  double work_bound_s_ = 0.0;
+};
+
+}  // namespace mp

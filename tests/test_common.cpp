@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "common/csv.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+
+namespace mp {
+namespace {
+
+TEST(Ids, DefaultIsInvalid) {
+  TaskId t;
+  EXPECT_FALSE(t.valid());
+  EXPECT_EQ(t, TaskId::invalid());
+}
+
+TEST(Ids, ValueRoundTrip) {
+  TaskId t{std::uint32_t{7}};
+  EXPECT_TRUE(t.valid());
+  EXPECT_EQ(t.value(), 7u);
+  EXPECT_EQ(t.index(), 7u);
+}
+
+TEST(Ids, DistinctTypesCompareOnlyWithinType) {
+  TaskId a{std::uint32_t{1}};
+  TaskId b{std::uint32_t{2}};
+  EXPECT_LT(a, b);
+  EXPECT_NE(a, b);
+}
+
+TEST(Ids, Hashable) {
+  std::unordered_set<TaskId> s;
+  s.insert(TaskId{std::uint32_t{1}});
+  s.insert(TaskId{std::uint32_t{1}});
+  s.insert(TaskId{std::uint32_t{2}});
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(Ids, ArchHelpers) {
+  EXPECT_EQ(arch_index(ArchType::CPU), 0u);
+  EXPECT_EQ(arch_index(ArchType::GPU), 1u);
+  EXPECT_STREQ(arch_name(ArchType::CPU), "CPU");
+  EXPECT_STREQ(arch_name(ArchType::GPU), "GPU");
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differ = 0;
+  for (int i = 0; i < 32; ++i) differ += a.next_u64() != b.next_u64();
+  EXPECT_GT(differ, 30);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NextInBounds) {
+  Rng r(9);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.next_in(3, 17);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 17u);
+  }
+}
+
+TEST(Rng, NextInCoversRange) {
+  Rng r(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.next_in(0, 4));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NormalMomentsRoughlyStandard) {
+  Rng r(13);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.next_normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.1);
+}
+
+TEST(Rng, DeriveIndependentStreams) {
+  Rng a = Rng::derive(42, 0);
+  Rng b = Rng::derive(42, 1);
+  int differ = 0;
+  for (int i = 0; i < 32; ++i) differ += a.next_u64() != b.next_u64();
+  EXPECT_GT(differ, 30);
+}
+
+TEST(Table, AsciiAlignsColumns) {
+  Table t({"name", "v"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "22"});
+  const std::string s = t.to_ascii();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("| long-name |"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes) {
+  Table t({"x"});
+  t.add_row({"a,b"});
+  t.add_row({"say \"hi\""});
+  const std::string s = t.to_csv();
+  EXPECT_NE(s.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(s.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, RowWidthEnforced) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "row width");
+}
+
+TEST(Fmt, DoubleAndPercent) {
+  EXPECT_EQ(fmt_double(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_percent(0.295, 0), "30%");
+  EXPECT_EQ(fmt_percent(0.01, 1), "1.0%");
+}
+
+}  // namespace
+}  // namespace mp

@@ -1,0 +1,85 @@
+// LS_SDH² (Eq. 3) unit tests.
+#include <gtest/gtest.h>
+
+#include "core/locality.hpp"
+#include "test_util.hpp"
+
+namespace mp {
+namespace {
+
+struct World {
+  TaskGraph graph;
+  Platform platform = test::small_platform(1, 2);
+  MemNodeId gpu0{std::size_t{1}};
+  MemNodeId gpu1{std::size_t{2}};
+  CodeletId cl;
+
+  World() { cl = graph.add_codelet("k", {ArchType::CPU, ArchType::GPU}); }
+};
+
+TEST(LsSdh2, ZeroWhenNothingLocal) {
+  World w;
+  const DataId d = w.graph.add_data(100);
+  const TaskId t = w.graph.submit(w.cl, {Access{d, AccessMode::Read}});
+  test::ManualContext mc(w.graph, w.platform, test::flat_perf());
+  SchedContext ctx = mc.ctx();
+  EXPECT_DOUBLE_EQ(ls_sdh2(ctx, w.gpu0, t), 0.0);
+}
+
+TEST(LsSdh2, ReadCountsLinearWriteQuadratic) {
+  World w;
+  const DataId r = w.graph.add_data(100);
+  const DataId wr = w.graph.add_data(100);
+  const TaskId t = w.graph.submit(
+      w.cl, {Access{r, AccessMode::Read}, Access{wr, AccessMode::ReadWrite}});
+  test::ManualContext mc(w.graph, w.platform, test::flat_perf());
+  SchedContext ctx = mc.ctx();
+  // Everything starts valid on RAM: 100 (read) + 100² (write).
+  EXPECT_DOUBLE_EQ(ls_sdh2(ctx, w.platform.ram_node(), t), 100.0 + 100.0 * 100.0);
+}
+
+TEST(LsSdh2, CountsOnlyDataValidOnTheNode) {
+  World w;
+  const DataId d0 = w.graph.add_data(100);
+  const DataId d1 = w.graph.add_data(40);
+  const TaskId t = w.graph.submit(
+      w.cl, {Access{d0, AccessMode::Read}, Access{d1, AccessMode::Read}});
+  test::ManualContext mc(w.graph, w.platform, test::flat_perf());
+  std::vector<TransferOp> ops;
+  mc.memory.prefetch(d0, w.gpu0, ops);
+  SchedContext ctx = mc.ctx();
+  EXPECT_DOUBLE_EQ(ls_sdh2(ctx, w.gpu0, t), 100.0);
+  EXPECT_DOUBLE_EQ(ls_sdh2(ctx, w.gpu1, t), 0.0);
+}
+
+TEST(LsSdh2, WriteDominatesReadOfSameSize) {
+  // A node holding the written tile must beat one holding a read tile.
+  World w;
+  const DataId rd = w.graph.add_data(64);
+  const DataId wr = w.graph.add_data(64);
+  const TaskId t = w.graph.submit(
+      w.cl, {Access{rd, AccessMode::Read}, Access{wr, AccessMode::ReadWrite}});
+  test::ManualContext mc(w.graph, w.platform, test::flat_perf());
+  std::vector<TransferOp> ops;
+  mc.memory.prefetch(rd, w.gpu0, ops);   // gpu0 holds the read data
+  mc.memory.prefetch(wr, w.gpu1, ops);   // gpu1 holds the written data
+  SchedContext ctx = mc.ctx();
+  EXPECT_GT(ls_sdh2(ctx, w.gpu1, t), ls_sdh2(ctx, w.gpu0, t));
+}
+
+TEST(LsSdh2, MoreLocalBytesScoreHigher) {
+  World w;
+  const DataId big = w.graph.add_data(1000);
+  const DataId small = w.graph.add_data(10);
+  const TaskId t = w.graph.submit(
+      w.cl, {Access{big, AccessMode::Read}, Access{small, AccessMode::Read}});
+  test::ManualContext mc(w.graph, w.platform, test::flat_perf());
+  std::vector<TransferOp> ops;
+  mc.memory.prefetch(big, w.gpu0, ops);
+  mc.memory.prefetch(small, w.gpu1, ops);
+  SchedContext ctx = mc.ctx();
+  EXPECT_GT(ls_sdh2(ctx, w.gpu0, t), ls_sdh2(ctx, w.gpu1, t));
+}
+
+}  // namespace
+}  // namespace mp

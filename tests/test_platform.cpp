@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "runtime/platform.hpp"
+#include "sim/platform_presets.hpp"
+#include "test_util.hpp"
+
+namespace mp {
+namespace {
+
+TEST(Platform, RamNodeAlwaysPresent) {
+  Platform p;
+  EXPECT_EQ(p.num_nodes(), 1u);
+  EXPECT_EQ(p.node(p.ram_node()).kind, MemNodeKind::Ram);
+}
+
+TEST(Platform, AddGpuNodesAndWorkers) {
+  Platform p = test::small_platform(4, 2);
+  EXPECT_EQ(p.num_nodes(), 3u);
+  EXPECT_EQ(p.num_workers(), 6u);
+  EXPECT_EQ(p.worker_count(ArchType::CPU), 4u);
+  EXPECT_EQ(p.worker_count(ArchType::GPU), 2u);
+  EXPECT_EQ(p.nodes_of_arch(ArchType::GPU).size(), 2u);
+  EXPECT_EQ(p.nodes_of_arch(ArchType::CPU).size(), 1u);
+}
+
+TEST(Platform, NodeArchReflectsWorkers) {
+  Platform p = test::small_platform(2, 1);
+  EXPECT_EQ(p.node_arch(p.ram_node()), ArchType::CPU);
+  EXPECT_EQ(p.node_arch(MemNodeId{std::size_t{1}}), ArchType::GPU);
+}
+
+TEST(Platform, WorkersOfNode) {
+  Platform p = test::small_platform(3, 1);
+  EXPECT_EQ(p.workers_of_node(p.ram_node()).size(), 3u);
+  EXPECT_EQ(p.workers_of_node(MemNodeId{std::size_t{1}}).size(), 1u);
+}
+
+TEST(Platform, TransferTimeZeroSameNode) {
+  Platform p = test::small_platform(1, 1);
+  EXPECT_DOUBLE_EQ(p.transfer_time(1 << 20, p.ram_node(), p.ram_node()), 0.0);
+}
+
+TEST(Platform, TransferTimeRamToGpu) {
+  Platform p;
+  const MemNodeId g = p.add_gpu_node(0, 10e9, 1e-6);
+  p.add_workers(ArchType::GPU, g, 1);
+  // 10 MB over 10 GB/s + 1 µs latency.
+  EXPECT_NEAR(p.transfer_time(10'000'000, p.ram_node(), g), 1e-3 + 1e-6, 1e-12);
+  EXPECT_NEAR(p.transfer_time(10'000'000, g, p.ram_node()), 1e-3 + 1e-6, 1e-12);
+}
+
+TEST(Platform, GpuToGpuPaysBothLinks) {
+  Platform p;
+  const MemNodeId g0 = p.add_gpu_node(0, 10e9, 1e-6);
+  const MemNodeId g1 = p.add_gpu_node(0, 20e9, 2e-6);
+  p.add_workers(ArchType::GPU, g0, 1);
+  p.add_workers(ArchType::GPU, g1, 1);
+  const double expected = (1e-6 + 1e7 / 10e9) + (2e-6 + 1e7 / 20e9);
+  EXPECT_NEAR(p.transfer_time(10'000'000, g0, g1), expected, 1e-12);
+}
+
+TEST(PlatformDeath, MixedArchOnOneNodeRejected) {
+  Platform p;
+  p.add_workers(ArchType::CPU, p.ram_node(), 1);
+  EXPECT_DEATH(p.add_workers(ArchType::GPU, p.ram_node(), 1), "single worker arch");
+}
+
+TEST(Presets, IntelV100Shape) {
+  const PlatformPreset preset = intel_v100();
+  EXPECT_EQ(preset.platform.worker_count(ArchType::CPU), 30u);
+  EXPECT_EQ(preset.platform.worker_count(ArchType::GPU), 2u);
+  EXPECT_EQ(preset.platform.num_nodes(), 3u);
+  preset.platform.self_check();
+}
+
+TEST(Presets, AmdA100Shape) {
+  const PlatformPreset preset = amd_a100();
+  EXPECT_EQ(preset.platform.worker_count(ArchType::CPU), 62u);
+  EXPECT_EQ(preset.platform.worker_count(ArchType::GPU), 2u);
+  preset.platform.self_check();
+}
+
+TEST(Presets, StreamsMultiplyGpuWorkers) {
+  const PlatformPreset preset = intel_v100(4);
+  EXPECT_EQ(preset.platform.worker_count(ArchType::GPU), 8u);
+  EXPECT_EQ(preset.platform.num_nodes(), 3u);  // still 2 GPU memory nodes
+}
+
+TEST(Presets, Fig4NodeShape) {
+  const PlatformPreset preset = fig4_node();
+  EXPECT_EQ(preset.platform.worker_count(ArchType::CPU), 6u);
+  EXPECT_EQ(preset.platform.worker_count(ArchType::GPU), 1u);
+}
+
+TEST(Presets, AmdCpusSlowerGpusFaster) {
+  const PlatformPreset intel = intel_v100();
+  const PlatformPreset amd = amd_a100();
+  // Per the paper: each AMD core ~2× slower, each A100 much faster.
+  const RateSpec& icpu = intel.perf.rate("gemm", ArchType::CPU);
+  const RateSpec& acpu = amd.perf.rate("gemm", ArchType::CPU);
+  EXPECT_NEAR(acpu.gflops / icpu.gflops, 0.5, 1e-9);
+  const RateSpec& igpu = intel.perf.rate("gemm", ArchType::GPU);
+  const RateSpec& agpu = amd.perf.rate("gemm", ArchType::GPU);
+  EXPECT_GT(agpu.gflops / igpu.gflops, 2.0);
+}
+
+TEST(Presets, GemmGpuFavoredAtLargeTiles) {
+  // On a V100-like device a 960³ gemm should be much faster than one core,
+  // but a tiny 64³ gemm should lose to the CPU because of launch overhead.
+  const PlatformPreset preset = intel_v100();
+  TaskGraph g;
+  const CodeletId cl = g.add_codelet("gemm", {ArchType::CPU, ArchType::GPU});
+  const DataId d = g.add_data(8);
+  SubmitOptions big;
+  big.flops = 2.0 * 960.0 * 960.0 * 960.0;
+  const TaskId tb = g.submit(cl, {Access{d, AccessMode::ReadWrite}}, big);
+  SubmitOptions small;
+  small.flops = 2.0 * 64.0 * 64.0 * 64.0;
+  const TaskId ts = g.submit(cl, {Access{d, AccessMode::ReadWrite}}, small);
+  const double big_cpu = preset.perf.ground_truth(g, tb, ArchType::CPU);
+  const double big_gpu = preset.perf.ground_truth(g, tb, ArchType::GPU);
+  const double small_cpu = preset.perf.ground_truth(g, ts, ArchType::CPU);
+  const double small_gpu = preset.perf.ground_truth(g, ts, ArchType::GPU);
+  EXPECT_GT(big_cpu / big_gpu, 10.0);    // GPU wins big tiles by a lot
+  EXPECT_LT(small_cpu / small_gpu, 1.0);  // CPU wins tiny tiles
+}
+
+}  // namespace
+}  // namespace mp

@@ -1,0 +1,177 @@
+// Cross-cutting property sweeps: scheduling invariants on random DAGs,
+// memory-manager fuzzing, and trace-report consistency.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/rng.hpp"
+#include "sched/schedulers.hpp"
+#include "sim/engine.hpp"
+#include "sim/report.hpp"
+#include "test_util.hpp"
+
+namespace mp {
+namespace {
+
+SchedulerFactory by_name(const std::string& name) {
+  return [name](SchedContext ctx) { return make_scheduler_by_name(name, std::move(ctx)); };
+}
+
+/// Random layered DAG with mixed modes including Commute.
+TaskGraph fuzz_graph(std::uint64_t seed, std::size_t n_tasks) {
+  Rng rng(seed);
+  TaskGraph g;
+  const CodeletId both = g.add_codelet("both", {ArchType::CPU, ArchType::GPU});
+  const CodeletId conly = g.add_codelet("conly", {ArchType::CPU});
+  std::vector<DataId> data;
+  for (std::size_t i = 0; i < n_tasks / 2 + 2; ++i)
+    data.push_back(g.add_data(256 + rng.next_in(0, 8192)));
+  for (std::size_t i = 0; i < n_tasks; ++i) {
+    std::vector<Access> acc;
+    const DataId own = data[rng.next_in(0, data.size() - 1)];
+    const double mode_pick = rng.next_double();
+    AccessMode m = AccessMode::ReadWrite;
+    if (mode_pick < 0.3) m = AccessMode::Read;
+    if (mode_pick > 0.8) m = AccessMode::Commute;
+    if (mode_pick > 0.95) m = AccessMode::Write;
+    acc.push_back(Access{own, m});
+    if (rng.next_double() < 0.7) {
+      const DataId extra = data[rng.next_in(0, data.size() - 1)];
+      if (extra != own) acc.push_back(Access{extra, AccessMode::Read});
+    }
+    SubmitOptions o;
+    o.flops = 1e6 * static_cast<double>(1 + rng.next_in(0, 80));
+    (void)g.submit(rng.next_double() < 0.2 ? conly : both,
+                   std::span<const Access>(acc), std::move(o));
+  }
+  return g;
+}
+
+class SchedulingInvariants
+    : public ::testing::TestWithParam<std::tuple<std::string, std::uint64_t>> {};
+
+TEST_P(SchedulingInvariants, MakespanRespectsLowerBounds) {
+  const auto& [name, seed] = GetParam();
+  const TaskGraph g = fuzz_graph(seed, 150);
+  Platform p = test::small_platform(3, 1);
+  PerfDatabase db = test::flat_perf(10.0, 100.0);
+  SimEngine engine(g, p, db);
+  const SimResult r = engine.run(by_name(name));
+  EXPECT_EQ(r.tasks_executed, g.num_tasks());
+
+  // Work bound: total execution seconds cannot be compressed below
+  // busy/width (every worker at its own speed — use the fastest).
+  double total_exec = 0.0;
+  for (const TraceSegment& s : engine.trace().segments())
+    total_exec += s.end - s.exec_start;
+  EXPECT_GE(r.makespan + 1e-9, total_exec / static_cast<double>(p.num_workers()));
+
+  // Critical-path bound over the executed durations.
+  const TraceReport report(engine.trace(), g, p);
+  EXPECT_GE(r.makespan + 1e-9, report.critical_path_seconds());
+  EXPECT_GE(report.efficiency_bound_ratio(), 1.0 - 1e-9);
+}
+
+TEST_P(SchedulingInvariants, CommuteTasksNeverOverlapPerHandle) {
+  const auto& [name, seed] = GetParam();
+  const TaskGraph g = fuzz_graph(seed + 50, 120);
+  Platform p = test::small_platform(2, 2);
+  PerfDatabase db = test::flat_perf(10.0, 100.0);
+  SimEngine engine(g, p, db);
+  (void)engine.run(by_name(name));
+  // Collect executions per commute handle and check pairwise disjointness.
+  std::map<std::uint32_t, std::vector<std::pair<double, double>>> windows;
+  for (const TraceSegment& s : engine.trace().segments()) {
+    for (const Access& a : g.task(s.task).accesses) {
+      if (a.mode == AccessMode::Commute)
+        windows[a.data.value()].emplace_back(s.exec_start, s.end);
+    }
+  }
+  for (auto& [d, w] : windows) {
+    std::sort(w.begin(), w.end());
+    for (std::size_t i = 1; i < w.size(); ++i) {
+      EXPECT_LE(w[i - 1].second, w[i].first + 1e-12)
+          << "handle " << d << " overlap at " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SchedulingInvariants,
+    ::testing::Combine(::testing::Values("multiprio", "dmdas", "heteroprio", "lws",
+                                         "eager"),
+                       ::testing::Values(11u, 12u, 13u)),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, std::uint64_t>>& info) {
+      std::string n = std::get<0>(info.param);
+      for (char& c : n)
+        if (c == '-') c = '_';
+      return n + "_s" + std::to_string(std::get<1>(info.param));
+    });
+
+class MemoryFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MemoryFuzz, CoherenceNeverLosesData) {
+  Rng rng(GetParam());
+  TaskGraph g;
+  const CodeletId cl = g.add_codelet("k", {ArchType::CPU, ArchType::GPU});
+  std::vector<DataId> data;
+  for (int i = 0; i < 24; ++i) data.push_back(g.add_data(64 + rng.next_in(0, 4096)));
+  std::vector<TaskId> tasks;
+  for (int i = 0; i < 200; ++i) {
+    const DataId d = data[rng.next_in(0, data.size() - 1)];
+    const double pick = rng.next_double();
+    const AccessMode m = pick < 0.4   ? AccessMode::Read
+                         : pick < 0.7 ? AccessMode::ReadWrite
+                                      : AccessMode::Write;
+    tasks.push_back(g.submit(cl, {Access{d, m}}));
+  }
+  // Capacity-limited GPUs force constant eviction traffic.
+  Platform p = test::small_platform(2, 0);
+  const MemNodeId g0 = p.add_gpu_node(6000, 10e9, 1e-6);
+  p.add_workers(ArchType::GPU, g0, 1);
+  const MemNodeId g1 = p.add_gpu_node(6000, 10e9, 1e-6);
+  p.add_workers(ArchType::GPU, g1, 1);
+
+  MemoryManager mm(g, p);
+  std::vector<TransferOp> ops;
+  for (TaskId t : tasks) {
+    const std::size_t pick = rng.next_in(0, p.num_nodes() - 1);
+    ops.clear();
+    mm.acquire_for_task(t, MemNodeId{pick}, ops);
+    // Invariant: every handle keeps at least one valid copy somewhere.
+    for (const Access& a : g.task(t).accesses) {
+      bool somewhere = false;
+      for (std::size_t n = 0; n < p.num_nodes(); ++n)
+        somewhere = somewhere || mm.is_valid_on(a.data, MemNodeId{n});
+      ASSERT_TRUE(somewhere);
+    }
+    // Capacity invariant (pinning is not used here, so it must hold).
+    EXPECT_LE(mm.used_bytes(g0), 6000u);
+    EXPECT_LE(mm.used_bytes(g1), 6000u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MemoryFuzz, ::testing::Values(21u, 22u, 23u, 24u));
+
+TEST(TraceReport, SharesAndCountsAreConsistent) {
+  const TaskGraph g = fuzz_graph(99, 120);
+  Platform p = test::small_platform(3, 1);
+  PerfDatabase db = test::flat_perf(10.0, 100.0);
+  SimEngine engine(g, p, db);
+  (void)engine.run(by_name("multiprio"));
+  const TraceReport report(engine.trace(), g, p);
+  EXPECT_NEAR(report.work_share(ArchType::CPU) + report.work_share(ArchType::GPU), 1.0,
+              1e-12);
+  std::size_t task_total = 0;
+  for (const NodeReport& n : report.nodes()) task_total += n.tasks;
+  EXPECT_EQ(task_total, g.num_tasks());
+  std::size_t codelet_total = 0;
+  for (const CodeletReport& c : report.codelets())
+    codelet_total += c.count_cpu + c.count_gpu;
+  EXPECT_EQ(codelet_total, g.num_tasks());
+  EXPECT_NE(report.to_string().find("makespan"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mp

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/scored_heap.hpp"
+
+namespace mp {
+namespace {
+
+TaskId tid(std::size_t i) { return TaskId{i}; }
+
+TEST(ScoredHeap, EmptyBehaviour) {
+  ScoredHeap h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.size(), 0u);
+  EXPECT_FALSE(h.top().has_value());
+}
+
+TEST(ScoredHeap, TopIsMaxGain) {
+  ScoredHeap h;
+  h.insert(tid(0), 0.3, 0.0);
+  h.insert(tid(1), 0.9, 0.0);
+  h.insert(tid(2), 0.5, 0.0);
+  ASSERT_TRUE(h.top().has_value());
+  EXPECT_EQ(h.top()->task, tid(1));
+}
+
+TEST(ScoredHeap, CriticalityBreaksGainTies) {
+  ScoredHeap h;
+  h.insert(tid(0), 0.5, 0.2);
+  h.insert(tid(1), 0.5, 0.9);
+  h.insert(tid(2), 0.5, 0.5);
+  EXPECT_EQ(h.top()->task, tid(1));
+}
+
+TEST(ScoredHeap, FifoBreaksFullTies) {
+  ScoredHeap h;
+  h.insert(tid(3), 0.5, 0.5);
+  h.insert(tid(1), 0.5, 0.5);
+  h.insert(tid(2), 0.5, 0.5);
+  EXPECT_EQ(h.top()->task, tid(3));  // earliest insertion wins
+  h.pop_top();
+  EXPECT_EQ(h.top()->task, tid(1));
+  h.pop_top();
+  EXPECT_EQ(h.top()->task, tid(2));
+}
+
+TEST(ScoredHeap, PopTopRemoves) {
+  ScoredHeap h;
+  h.insert(tid(0), 0.1, 0.0);
+  h.insert(tid(1), 0.2, 0.0);
+  h.pop_top();
+  EXPECT_EQ(h.size(), 1u);
+  EXPECT_EQ(h.top()->task, tid(0));
+  EXPECT_FALSE(h.contains(tid(1)));
+}
+
+TEST(ScoredHeap, RemoveArbitrary) {
+  ScoredHeap h;
+  for (std::size_t i = 0; i < 10; ++i)
+    h.insert(tid(i), 0.1 * static_cast<double>(i), 0.0);
+  h.remove(tid(5));
+  EXPECT_EQ(h.size(), 9u);
+  EXPECT_FALSE(h.contains(tid(5)));
+  EXPECT_TRUE(h.validate());
+  EXPECT_EQ(h.top()->task, tid(9));
+}
+
+TEST(ScoredHeap, RemoveLastElementNoReheap) {
+  ScoredHeap h;
+  h.insert(tid(0), 0.9, 0.0);
+  h.insert(tid(1), 0.1, 0.0);
+  h.remove(tid(1));
+  EXPECT_TRUE(h.validate());
+  EXPECT_EQ(h.size(), 1u);
+}
+
+TEST(ScoredHeapDeath, DoubleInsertRejected) {
+  ScoredHeap h;
+  h.insert(tid(0), 0.5, 0.0);
+  EXPECT_DEATH(h.insert(tid(0), 0.6, 0.0), "already in this heap");
+}
+
+TEST(ScoredHeapDeath, RemoveMissingRejected) {
+  ScoredHeap h;
+  EXPECT_DEATH(h.remove(tid(0)), "not in the heap");
+}
+
+TEST(ScoredHeap, ForTopVisitsInExactOrder) {
+  ScoredHeap h;
+  Rng rng(5);
+  for (std::size_t i = 0; i < 64; ++i)
+    h.insert(tid(i), rng.next_double(), rng.next_double());
+  std::vector<HeapEntry> visited;
+  h.for_top([&](const HeapEntry& e) {
+    visited.push_back(e);
+    return true;
+  });
+  ASSERT_EQ(visited.size(), 64u);
+  for (std::size_t i = 1; i < visited.size(); ++i)
+    EXPECT_TRUE(visited[i - 1].before(visited[i]) ||
+                (!visited[i].before(visited[i - 1])));
+}
+
+TEST(ScoredHeap, ForTopEarlyStop) {
+  ScoredHeap h;
+  for (std::size_t i = 0; i < 32; ++i) h.insert(tid(i), static_cast<double>(i), 0.0);
+  std::size_t count = 0;
+  h.for_top([&](const HeapEntry&) { return ++count < 5; });
+  EXPECT_EQ(count, 5u);
+  EXPECT_EQ(h.size(), 32u);  // non-destructive
+}
+
+TEST(ScoredHeap, ForTopFirstIsTop) {
+  ScoredHeap h;
+  Rng rng(17);
+  for (std::size_t i = 0; i < 50; ++i) h.insert(tid(i), rng.next_double(), 0.0);
+  bool first = true;
+  h.for_top([&](const HeapEntry& e) {
+    if (first) {
+      EXPECT_EQ(e.task, h.top()->task);
+      first = false;
+    }
+    return false;
+  });
+}
+
+// Property sweep: random interleavings of insert/remove/pop keep the heap
+// property, the index map, and the exact max ordering.
+class ScoredHeapProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScoredHeapProperty, RandomOpsKeepInvariants) {
+  Rng rng(GetParam());
+  ScoredHeap h;
+  std::vector<TaskId> live;
+  std::size_t next_id = 0;
+  for (int step = 0; step < 2000; ++step) {
+    const double action = rng.next_double();
+    if (action < 0.55 || live.empty()) {
+      const TaskId t = tid(next_id++);
+      h.insert(t, rng.next_double(), rng.next_double());
+      live.push_back(t);
+    } else if (action < 0.8) {
+      // remove a random live task
+      const std::size_t pick = static_cast<std::size_t>(rng.next_in(0, live.size() - 1));
+      h.remove(live[pick]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      const TaskId top = h.top()->task;
+      h.pop_top();
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        if (live[i] == top) {
+          live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+    }
+    if (step % 100 == 0) {
+      ASSERT_TRUE(h.validate());
+    }
+    ASSERT_EQ(h.size(), live.size());
+  }
+  ASSERT_TRUE(h.validate());
+  // Drain: pops must come out in non-increasing order.
+  std::optional<HeapEntry> prev;
+  while (!h.empty()) {
+    const HeapEntry e = *h.top();
+    if (prev) {
+      EXPECT_FALSE(e.before(*prev));
+    }
+    prev = e;
+    h.pop_top();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScoredHeapProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace mp

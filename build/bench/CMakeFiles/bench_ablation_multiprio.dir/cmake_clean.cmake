@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multiprio.dir/bench_ablation_multiprio.cpp.o"
+  "CMakeFiles/bench_ablation_multiprio.dir/bench_ablation_multiprio.cpp.o.d"
+  "bench_ablation_multiprio"
+  "bench_ablation_multiprio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multiprio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

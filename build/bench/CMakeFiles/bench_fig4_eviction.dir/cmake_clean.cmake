@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_eviction.dir/bench_fig4_eviction.cpp.o"
+  "CMakeFiles/bench_fig4_eviction.dir/bench_fig4_eviction.cpp.o.d"
+  "bench_fig4_eviction"
+  "bench_fig4_eviction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_eviction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

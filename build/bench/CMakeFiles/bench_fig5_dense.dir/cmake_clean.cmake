@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_dense.dir/bench_fig5_dense.cpp.o"
+  "CMakeFiles/bench_fig5_dense.dir/bench_fig5_dense.cpp.o.d"
+  "bench_fig5_dense"
+  "bench_fig5_dense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_dense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_fmm.dir/bench_fig6_fmm.cpp.o"
+  "CMakeFiles/bench_fig6_fmm.dir/bench_fig6_fmm.cpp.o.d"
+  "bench_fig6_fmm"
+  "bench_fig6_fmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_fmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

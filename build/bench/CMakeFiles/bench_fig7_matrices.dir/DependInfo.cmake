@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig7_matrices.cpp" "bench/CMakeFiles/bench_fig7_matrices.dir/bench_fig7_matrices.cpp.o" "gcc" "bench/CMakeFiles/bench_fig7_matrices.dir/bench_fig7_matrices.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mp_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mp_dense.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mp_fmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mp_sparseqr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_matrices.dir/bench_fig7_matrices.cpp.o"
+  "CMakeFiles/bench_fig7_matrices.dir/bench_fig7_matrices.cpp.o.d"
+  "bench_fig7_matrices"
+  "bench_fig7_matrices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_matrices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_sparseqr.dir/bench_fig8_sparseqr.cpp.o"
+  "CMakeFiles/bench_fig8_sparseqr.dir/bench_fig8_sparseqr.cpp.o.d"
+  "bench_fig8_sparseqr"
+  "bench_fig8_sparseqr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_sparseqr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_gain.dir/bench_table2_gain.cpp.o"
+  "CMakeFiles/bench_table2_gain.dir/bench_table2_gain.cpp.o.d"
+  "bench_table2_gain"
+  "bench_table2_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

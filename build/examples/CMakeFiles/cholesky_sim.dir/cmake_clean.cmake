@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cholesky_sim.dir/cholesky_sim.cpp.o"
+  "CMakeFiles/cholesky_sim.dir/cholesky_sim.cpp.o.d"
+  "cholesky_sim"
+  "cholesky_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cholesky_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmm_schedule.dir/fmm_schedule.cpp.o"
+  "CMakeFiles/fmm_schedule.dir/fmm_schedule.cpp.o.d"
+  "fmm_schedule"
+  "fmm_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmm_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparseqr_analysis.dir/sparseqr_analysis.cpp.o"
+  "CMakeFiles/sparseqr_analysis.dir/sparseqr_analysis.cpp.o.d"
+  "sparseqr_analysis"
+  "sparseqr_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparseqr_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

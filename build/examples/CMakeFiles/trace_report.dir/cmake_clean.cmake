@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_report.dir/trace_report.cpp.o"
+  "CMakeFiles/trace_report.dir/trace_report.cpp.o.d"
+  "trace_report"
+  "trace_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_common.dir/common/csv.cpp.o"
+  "CMakeFiles/mp_common.dir/common/csv.cpp.o.d"
+  "CMakeFiles/mp_common.dir/common/rng.cpp.o"
+  "CMakeFiles/mp_common.dir/common/rng.cpp.o.d"
+  "libmp_common.a"
+  "libmp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/gain.cpp" "src/CMakeFiles/mp_core.dir/core/gain.cpp.o" "gcc" "src/CMakeFiles/mp_core.dir/core/gain.cpp.o.d"
+  "/root/repo/src/core/locality.cpp" "src/CMakeFiles/mp_core.dir/core/locality.cpp.o" "gcc" "src/CMakeFiles/mp_core.dir/core/locality.cpp.o.d"
+  "/root/repo/src/core/multiprio.cpp" "src/CMakeFiles/mp_core.dir/core/multiprio.cpp.o" "gcc" "src/CMakeFiles/mp_core.dir/core/multiprio.cpp.o.d"
+  "/root/repo/src/core/nod.cpp" "src/CMakeFiles/mp_core.dir/core/nod.cpp.o" "gcc" "src/CMakeFiles/mp_core.dir/core/nod.cpp.o.d"
+  "/root/repo/src/core/scored_heap.cpp" "src/CMakeFiles/mp_core.dir/core/scored_heap.cpp.o" "gcc" "src/CMakeFiles/mp_core.dir/core/scored_heap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_core.dir/core/gain.cpp.o"
+  "CMakeFiles/mp_core.dir/core/gain.cpp.o.d"
+  "CMakeFiles/mp_core.dir/core/locality.cpp.o"
+  "CMakeFiles/mp_core.dir/core/locality.cpp.o.d"
+  "CMakeFiles/mp_core.dir/core/multiprio.cpp.o"
+  "CMakeFiles/mp_core.dir/core/multiprio.cpp.o.d"
+  "CMakeFiles/mp_core.dir/core/nod.cpp.o"
+  "CMakeFiles/mp_core.dir/core/nod.cpp.o.d"
+  "CMakeFiles/mp_core.dir/core/scored_heap.cpp.o"
+  "CMakeFiles/mp_core.dir/core/scored_heap.cpp.o.d"
+  "libmp_core.a"
+  "libmp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/dense/geqrf.cpp" "src/CMakeFiles/mp_dense.dir/apps/dense/geqrf.cpp.o" "gcc" "src/CMakeFiles/mp_dense.dir/apps/dense/geqrf.cpp.o.d"
+  "/root/repo/src/apps/dense/getrf.cpp" "src/CMakeFiles/mp_dense.dir/apps/dense/getrf.cpp.o" "gcc" "src/CMakeFiles/mp_dense.dir/apps/dense/getrf.cpp.o.d"
+  "/root/repo/src/apps/dense/potrf.cpp" "src/CMakeFiles/mp_dense.dir/apps/dense/potrf.cpp.o" "gcc" "src/CMakeFiles/mp_dense.dir/apps/dense/potrf.cpp.o.d"
+  "/root/repo/src/apps/dense/reference.cpp" "src/CMakeFiles/mp_dense.dir/apps/dense/reference.cpp.o" "gcc" "src/CMakeFiles/mp_dense.dir/apps/dense/reference.cpp.o.d"
+  "/root/repo/src/apps/dense/tile_kernels.cpp" "src/CMakeFiles/mp_dense.dir/apps/dense/tile_kernels.cpp.o" "gcc" "src/CMakeFiles/mp_dense.dir/apps/dense/tile_kernels.cpp.o.d"
+  "/root/repo/src/apps/dense/tile_matrix.cpp" "src/CMakeFiles/mp_dense.dir/apps/dense/tile_matrix.cpp.o" "gcc" "src/CMakeFiles/mp_dense.dir/apps/dense/tile_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

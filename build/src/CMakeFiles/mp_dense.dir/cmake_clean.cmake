@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_dense.dir/apps/dense/geqrf.cpp.o"
+  "CMakeFiles/mp_dense.dir/apps/dense/geqrf.cpp.o.d"
+  "CMakeFiles/mp_dense.dir/apps/dense/getrf.cpp.o"
+  "CMakeFiles/mp_dense.dir/apps/dense/getrf.cpp.o.d"
+  "CMakeFiles/mp_dense.dir/apps/dense/potrf.cpp.o"
+  "CMakeFiles/mp_dense.dir/apps/dense/potrf.cpp.o.d"
+  "CMakeFiles/mp_dense.dir/apps/dense/reference.cpp.o"
+  "CMakeFiles/mp_dense.dir/apps/dense/reference.cpp.o.d"
+  "CMakeFiles/mp_dense.dir/apps/dense/tile_kernels.cpp.o"
+  "CMakeFiles/mp_dense.dir/apps/dense/tile_kernels.cpp.o.d"
+  "CMakeFiles/mp_dense.dir/apps/dense/tile_matrix.cpp.o"
+  "CMakeFiles/mp_dense.dir/apps/dense/tile_matrix.cpp.o.d"
+  "libmp_dense.a"
+  "libmp_dense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_dense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

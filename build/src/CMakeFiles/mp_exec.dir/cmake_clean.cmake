@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_exec.dir/exec/thread_executor.cpp.o"
+  "CMakeFiles/mp_exec.dir/exec/thread_executor.cpp.o.d"
+  "libmp_exec.a"
+  "libmp_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

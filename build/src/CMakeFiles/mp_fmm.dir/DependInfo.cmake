@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/fmm/dag_builder.cpp" "src/CMakeFiles/mp_fmm.dir/apps/fmm/dag_builder.cpp.o" "gcc" "src/CMakeFiles/mp_fmm.dir/apps/fmm/dag_builder.cpp.o.d"
+  "/root/repo/src/apps/fmm/kernels.cpp" "src/CMakeFiles/mp_fmm.dir/apps/fmm/kernels.cpp.o" "gcc" "src/CMakeFiles/mp_fmm.dir/apps/fmm/kernels.cpp.o.d"
+  "/root/repo/src/apps/fmm/octree.cpp" "src/CMakeFiles/mp_fmm.dir/apps/fmm/octree.cpp.o" "gcc" "src/CMakeFiles/mp_fmm.dir/apps/fmm/octree.cpp.o.d"
+  "/root/repo/src/apps/fmm/particles.cpp" "src/CMakeFiles/mp_fmm.dir/apps/fmm/particles.cpp.o" "gcc" "src/CMakeFiles/mp_fmm.dir/apps/fmm/particles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_fmm.dir/apps/fmm/dag_builder.cpp.o"
+  "CMakeFiles/mp_fmm.dir/apps/fmm/dag_builder.cpp.o.d"
+  "CMakeFiles/mp_fmm.dir/apps/fmm/kernels.cpp.o"
+  "CMakeFiles/mp_fmm.dir/apps/fmm/kernels.cpp.o.d"
+  "CMakeFiles/mp_fmm.dir/apps/fmm/octree.cpp.o"
+  "CMakeFiles/mp_fmm.dir/apps/fmm/octree.cpp.o.d"
+  "CMakeFiles/mp_fmm.dir/apps/fmm/particles.cpp.o"
+  "CMakeFiles/mp_fmm.dir/apps/fmm/particles.cpp.o.d"
+  "libmp_fmm.a"
+  "libmp_fmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_fmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/data_handle.cpp" "src/CMakeFiles/mp_runtime.dir/runtime/data_handle.cpp.o" "gcc" "src/CMakeFiles/mp_runtime.dir/runtime/data_handle.cpp.o.d"
+  "/root/repo/src/runtime/memory_manager.cpp" "src/CMakeFiles/mp_runtime.dir/runtime/memory_manager.cpp.o" "gcc" "src/CMakeFiles/mp_runtime.dir/runtime/memory_manager.cpp.o.d"
+  "/root/repo/src/runtime/perf_model.cpp" "src/CMakeFiles/mp_runtime.dir/runtime/perf_model.cpp.o" "gcc" "src/CMakeFiles/mp_runtime.dir/runtime/perf_model.cpp.o.d"
+  "/root/repo/src/runtime/platform.cpp" "src/CMakeFiles/mp_runtime.dir/runtime/platform.cpp.o" "gcc" "src/CMakeFiles/mp_runtime.dir/runtime/platform.cpp.o.d"
+  "/root/repo/src/runtime/sched_context.cpp" "src/CMakeFiles/mp_runtime.dir/runtime/sched_context.cpp.o" "gcc" "src/CMakeFiles/mp_runtime.dir/runtime/sched_context.cpp.o.d"
+  "/root/repo/src/runtime/task_graph.cpp" "src/CMakeFiles/mp_runtime.dir/runtime/task_graph.cpp.o" "gcc" "src/CMakeFiles/mp_runtime.dir/runtime/task_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

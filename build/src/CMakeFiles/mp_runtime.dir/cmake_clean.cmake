@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_runtime.dir/runtime/data_handle.cpp.o"
+  "CMakeFiles/mp_runtime.dir/runtime/data_handle.cpp.o.d"
+  "CMakeFiles/mp_runtime.dir/runtime/memory_manager.cpp.o"
+  "CMakeFiles/mp_runtime.dir/runtime/memory_manager.cpp.o.d"
+  "CMakeFiles/mp_runtime.dir/runtime/perf_model.cpp.o"
+  "CMakeFiles/mp_runtime.dir/runtime/perf_model.cpp.o.d"
+  "CMakeFiles/mp_runtime.dir/runtime/platform.cpp.o"
+  "CMakeFiles/mp_runtime.dir/runtime/platform.cpp.o.d"
+  "CMakeFiles/mp_runtime.dir/runtime/sched_context.cpp.o"
+  "CMakeFiles/mp_runtime.dir/runtime/sched_context.cpp.o.d"
+  "CMakeFiles/mp_runtime.dir/runtime/task_graph.cpp.o"
+  "CMakeFiles/mp_runtime.dir/runtime/task_graph.cpp.o.d"
+  "libmp_runtime.a"
+  "libmp_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/dm_family.cpp" "src/CMakeFiles/mp_sched.dir/sched/dm_family.cpp.o" "gcc" "src/CMakeFiles/mp_sched.dir/sched/dm_family.cpp.o.d"
+  "/root/repo/src/sched/eager.cpp" "src/CMakeFiles/mp_sched.dir/sched/eager.cpp.o" "gcc" "src/CMakeFiles/mp_sched.dir/sched/eager.cpp.o.d"
+  "/root/repo/src/sched/heteroprio.cpp" "src/CMakeFiles/mp_sched.dir/sched/heteroprio.cpp.o" "gcc" "src/CMakeFiles/mp_sched.dir/sched/heteroprio.cpp.o.d"
+  "/root/repo/src/sched/lws.cpp" "src/CMakeFiles/mp_sched.dir/sched/lws.cpp.o" "gcc" "src/CMakeFiles/mp_sched.dir/sched/lws.cpp.o.d"
+  "/root/repo/src/sched/random_sched.cpp" "src/CMakeFiles/mp_sched.dir/sched/random_sched.cpp.o" "gcc" "src/CMakeFiles/mp_sched.dir/sched/random_sched.cpp.o.d"
+  "/root/repo/src/sched/registry.cpp" "src/CMakeFiles/mp_sched.dir/sched/registry.cpp.o" "gcc" "src/CMakeFiles/mp_sched.dir/sched/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

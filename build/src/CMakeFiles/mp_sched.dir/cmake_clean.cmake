@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_sched.dir/sched/dm_family.cpp.o"
+  "CMakeFiles/mp_sched.dir/sched/dm_family.cpp.o.d"
+  "CMakeFiles/mp_sched.dir/sched/eager.cpp.o"
+  "CMakeFiles/mp_sched.dir/sched/eager.cpp.o.d"
+  "CMakeFiles/mp_sched.dir/sched/heteroprio.cpp.o"
+  "CMakeFiles/mp_sched.dir/sched/heteroprio.cpp.o.d"
+  "CMakeFiles/mp_sched.dir/sched/lws.cpp.o"
+  "CMakeFiles/mp_sched.dir/sched/lws.cpp.o.d"
+  "CMakeFiles/mp_sched.dir/sched/random_sched.cpp.o"
+  "CMakeFiles/mp_sched.dir/sched/random_sched.cpp.o.d"
+  "CMakeFiles/mp_sched.dir/sched/registry.cpp.o"
+  "CMakeFiles/mp_sched.dir/sched/registry.cpp.o.d"
+  "libmp_sched.a"
+  "libmp_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

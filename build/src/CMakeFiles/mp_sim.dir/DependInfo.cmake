@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/mp_sim.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/mp_sim.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/platform_presets.cpp" "src/CMakeFiles/mp_sim.dir/sim/platform_presets.cpp.o" "gcc" "src/CMakeFiles/mp_sim.dir/sim/platform_presets.cpp.o.d"
+  "/root/repo/src/sim/report.cpp" "src/CMakeFiles/mp_sim.dir/sim/report.cpp.o" "gcc" "src/CMakeFiles/mp_sim.dir/sim/report.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/mp_sim.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/mp_sim.dir/sim/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/mp_sim.dir/sim/engine.cpp.o.d"
+  "CMakeFiles/mp_sim.dir/sim/platform_presets.cpp.o"
+  "CMakeFiles/mp_sim.dir/sim/platform_presets.cpp.o.d"
+  "CMakeFiles/mp_sim.dir/sim/report.cpp.o"
+  "CMakeFiles/mp_sim.dir/sim/report.cpp.o.d"
+  "CMakeFiles/mp_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/mp_sim.dir/sim/trace.cpp.o.d"
+  "libmp_sim.a"
+  "libmp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/sparseqr/dag_builder.cpp" "src/CMakeFiles/mp_sparseqr.dir/apps/sparseqr/dag_builder.cpp.o" "gcc" "src/CMakeFiles/mp_sparseqr.dir/apps/sparseqr/dag_builder.cpp.o.d"
+  "/root/repo/src/apps/sparseqr/generators.cpp" "src/CMakeFiles/mp_sparseqr.dir/apps/sparseqr/generators.cpp.o" "gcc" "src/CMakeFiles/mp_sparseqr.dir/apps/sparseqr/generators.cpp.o.d"
+  "/root/repo/src/apps/sparseqr/sparse_matrix.cpp" "src/CMakeFiles/mp_sparseqr.dir/apps/sparseqr/sparse_matrix.cpp.o" "gcc" "src/CMakeFiles/mp_sparseqr.dir/apps/sparseqr/sparse_matrix.cpp.o.d"
+  "/root/repo/src/apps/sparseqr/symbolic.cpp" "src/CMakeFiles/mp_sparseqr.dir/apps/sparseqr/symbolic.cpp.o" "gcc" "src/CMakeFiles/mp_sparseqr.dir/apps/sparseqr/symbolic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_sparseqr.dir/apps/sparseqr/dag_builder.cpp.o"
+  "CMakeFiles/mp_sparseqr.dir/apps/sparseqr/dag_builder.cpp.o.d"
+  "CMakeFiles/mp_sparseqr.dir/apps/sparseqr/generators.cpp.o"
+  "CMakeFiles/mp_sparseqr.dir/apps/sparseqr/generators.cpp.o.d"
+  "CMakeFiles/mp_sparseqr.dir/apps/sparseqr/sparse_matrix.cpp.o"
+  "CMakeFiles/mp_sparseqr.dir/apps/sparseqr/sparse_matrix.cpp.o.d"
+  "CMakeFiles/mp_sparseqr.dir/apps/sparseqr/symbolic.cpp.o"
+  "CMakeFiles/mp_sparseqr.dir/apps/sparseqr/symbolic.cpp.o.d"
+  "libmp_sparseqr.a"
+  "libmp_sparseqr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_sparseqr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_commute.dir/test_commute.cpp.o"
+  "CMakeFiles/test_commute.dir/test_commute.cpp.o.d"
+  "test_commute"
+  "test_commute.pdb"
+  "test_commute[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_commute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dense_builders.dir/test_dense_builders.cpp.o"
+  "CMakeFiles/test_dense_builders.dir/test_dense_builders.cpp.o.d"
+  "test_dense_builders"
+  "test_dense_builders.pdb"
+  "test_dense_builders[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dense_builders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

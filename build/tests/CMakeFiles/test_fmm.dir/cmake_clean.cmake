@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fmm.dir/test_fmm.cpp.o"
+  "CMakeFiles/test_fmm.dir/test_fmm.cpp.o.d"
+  "test_fmm"
+  "test_fmm.pdb"
+  "test_fmm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

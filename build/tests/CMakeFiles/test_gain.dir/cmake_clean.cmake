@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gain.dir/test_gain.cpp.o"
+  "CMakeFiles/test_gain.dir/test_gain.cpp.o.d"
+  "test_gain"
+  "test_gain.pdb"
+  "test_gain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

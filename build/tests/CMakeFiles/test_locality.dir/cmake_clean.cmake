@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_locality.dir/test_locality.cpp.o"
+  "CMakeFiles/test_locality.dir/test_locality.cpp.o.d"
+  "test_locality"
+  "test_locality.pdb"
+  "test_locality[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

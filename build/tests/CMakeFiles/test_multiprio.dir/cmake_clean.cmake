@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiprio.dir/test_multiprio.cpp.o"
+  "CMakeFiles/test_multiprio.dir/test_multiprio.cpp.o.d"
+  "test_multiprio"
+  "test_multiprio.pdb"
+  "test_multiprio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiprio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

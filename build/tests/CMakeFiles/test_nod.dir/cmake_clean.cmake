@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nod.dir/test_nod.cpp.o"
+  "CMakeFiles/test_nod.dir/test_nod.cpp.o.d"
+  "test_nod"
+  "test_nod.pdb"
+  "test_nod[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scored_heap.dir/test_scored_heap.cpp.o"
+  "CMakeFiles/test_scored_heap.dir/test_scored_heap.cpp.o.d"
+  "test_scored_heap"
+  "test_scored_heap.pdb"
+  "test_scored_heap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scored_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

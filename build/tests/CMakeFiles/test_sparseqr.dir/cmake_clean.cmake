@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparseqr.dir/test_sparseqr.cpp.o"
+  "CMakeFiles/test_sparseqr.dir/test_sparseqr.cpp.o.d"
+  "test_sparseqr"
+  "test_sparseqr.pdb"
+  "test_sparseqr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparseqr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thread_executor.dir/test_thread_executor.cpp.o"
+  "CMakeFiles/test_thread_executor.dir/test_thread_executor.cpp.o.d"
+  "test_thread_executor"
+  "test_thread_executor.pdb"
+  "test_thread_executor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thread_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_task_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_platform[1]_include.cmake")
+include("/root/repo/build/tests/test_perf_model[1]_include.cmake")
+include("/root/repo/build/tests/test_memory_manager[1]_include.cmake")
+include("/root/repo/build/tests/test_scored_heap[1]_include.cmake")
+include("/root/repo/build/tests/test_gain[1]_include.cmake")
+include("/root/repo/build/tests/test_nod[1]_include.cmake")
+include("/root/repo/build/tests/test_locality[1]_include.cmake")
+include("/root/repo/build/tests/test_multiprio[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_schedulers[1]_include.cmake")
+include("/root/repo/build/tests/test_dense_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_dense_builders[1]_include.cmake")
+include("/root/repo/build/tests/test_thread_executor[1]_include.cmake")
+include("/root/repo/build/tests/test_fmm[1]_include.cmake")
+include("/root/repo/build/tests/test_sparseqr[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_commute[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")

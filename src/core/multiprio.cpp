@@ -24,14 +24,14 @@ void MultiPrioScheduler::push(TaskId t) {
   rec.best_arch = best;
   auto& added = rec.brw_added;
 
-  // Algorithm 1: insert into the heap of every memory node whose workers can
-  // execute the task, with the (gain, criticality) scores.
+  // Algorithm 1: insert into the heap of every memory node whose (live)
+  // workers can execute the task, with the (gain, criticality) scores.
   for (std::size_t mi = 0; mi < ctx_.platform->num_nodes(); ++mi) {
     const MemNodeId m{mi};
-    if (ctx_.platform->workers_of_node(m).empty()) continue;
+    if (live_workers_of_node(ctx_, m) == 0) continue;
     const ArchType a = ctx_.platform->node_arch(m);
     if (!ctx_.graph->can_exec(t, a)) continue;
-    MP_ASSERT(ctx_.platform->worker_count(a) > 0);
+    MP_ASSERT(live_worker_count(ctx_, a) > 0);
 
     const double gain = gain_.gain(ctx_, t, a);
     const double prio = cfg_.use_nod ? nod_.normalized(ctx_, t, m) : 0.0;
@@ -57,7 +57,7 @@ bool MultiPrioScheduler::pop_condition(TaskId t, ArchType a) const {
   double brw_best = 0.0;
   for (MemNodeId m : ctx_.platform->nodes_of_arch(best)) brw_best += brw_[m.index()];
   if (cfg_.normalize_brw_by_workers) {
-    brw_best /= static_cast<double>(std::max<std::size_t>(1, ctx_.platform->worker_count(best)));
+    brw_best /= static_cast<double>(std::max<std::size_t>(1, live_worker_count(ctx_, best)));
   }
   // The best workers hold more queued best-affinity work than it would cost
   // this slower worker to run the task: diverting it keeps the DAG moving.
@@ -143,6 +143,51 @@ std::optional<TaskId> MultiPrioScheduler::pop(WorkerId w) {
     --ready_count_[m.index()];
   }
   return std::nullopt;
+}
+
+void MultiPrioScheduler::repush(TaskId t) {
+  MP_CHECK_MSG(t.index() < taken_.size() && taken_[t.index()],
+               "repush of a task that was never popped");
+  // take() removed the task only from the heap it was popped from; lazy
+  // duplicates may still sit in other heaps. Flush them (with their
+  // ready-count) so push() starts from a clean slate, as on first push.
+  for (std::size_t mi = 0; mi < heaps_.size(); ++mi) {
+    if (heaps_[mi].contains(t)) {
+      heaps_[mi].remove(t);
+      MP_ASSERT(ready_count_[mi] > 0);
+      --ready_count_[mi];
+    }
+  }
+  taken_[t.index()] = false;
+  push(t);
+}
+
+std::vector<TaskId> MultiPrioScheduler::notify_worker_removed(WorkerId w) {
+  const MemNodeId dead = ctx_.platform->worker(w).node;
+  // Stream loss: the node still has live workers, heaps and ledgers stand
+  // (the pop_condition already normalizes by the live worker count).
+  if (live_workers_of_node(ctx_, dead) > 0) return {};
+
+  std::vector<TaskId> survivors;
+  std::vector<TaskId> orphans;
+  for (const auto& [t, rec] : pushed_)
+    (task_has_live_worker(ctx_, t) ? survivors : orphans).push_back(t);
+  // pushed_ iteration order is unspecified; sort so the rebuilt heaps (and
+  // the heap-sequence tiebreaks inside them) are deterministic.
+  std::sort(survivors.begin(), survivors.end());
+  std::sort(orphans.begin(), orphans.end());
+
+  for (ScoredHeap& h : heaps_) h.clear();
+  ready_count_.assign(ready_count_.size(), 0);
+  brw_.assign(brw_.size(), 0.0);
+  pushed_.clear();
+  pending_ = 0;
+  // The normalization trackers restart so scores reflect the shrunken
+  // platform rather than contrasts measured against dead architectures.
+  gain_.reset();
+  nod_.reset();
+  for (TaskId t : survivors) push(t);
+  return orphans;
 }
 
 std::size_t MultiPrioScheduler::ready_tasks_count(MemNodeId m) const {

@@ -50,6 +50,18 @@ class MultiPrioScheduler final : public Scheduler {
   void push(TaskId t) override;                        // Algorithm 1
   [[nodiscard]] std::optional<TaskId> pop(WorkerId w) override;  // Algorithm 2
 
+  /// Retry of a popped-but-unfinished task: clears the taken flag, then
+  /// re-runs Algorithm 1 — the accounting must match a fresh push exactly.
+  void repush(TaskId t) override;
+
+  /// Fail-stop loss handling. When the dead worker was the last of its
+  /// memory node, the node's heap is dropped and the entire pending set is
+  /// re-pushed against the surviving platform: push-time best-arch verdicts,
+  /// gain/NOD scores and best_remaining_work credits all have to be
+  /// re-judged, or a task whose best architecture died could be evicted out
+  /// of every heap and lost. Tasks with no live capable worker are returned.
+  [[nodiscard]] std::vector<TaskId> notify_worker_removed(WorkerId w) override;
+
   [[nodiscard]] std::string name() const override { return "multiprio"; }
   [[nodiscard]] std::size_t pending_count() const override { return pending_; }
   [[nodiscard]] bool has_work_hint(WorkerId w) const override {
@@ -62,6 +74,8 @@ class MultiPrioScheduler final : public Scheduler {
   [[nodiscard]] double best_remaining_work(MemNodeId m) const;
   [[nodiscard]] std::size_t eviction_total() const { return evictions_; }
   [[nodiscard]] std::size_t pop_condition_rejects() const { return pop_rejects_; }
+  /// Is `t` currently pushed and not yet popped (invariant checks)?
+  [[nodiscard]] bool is_pending(TaskId t) const { return pushed_.count(t) != 0; }
   [[nodiscard]] const GainTracker& gain_tracker() const { return gain_; }
   [[nodiscard]] const ScoredHeap& heap(MemNodeId m) const;
 

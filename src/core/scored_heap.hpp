@@ -50,6 +50,13 @@ class ScoredHeap {
   /// Removes an arbitrary task (the eviction mechanism). Requires presence.
   void remove(TaskId t);
 
+  /// Drops every entry (used when a memory node leaves the platform). The
+  /// insertion counter survives so FIFO tiebreaks stay globally consistent.
+  void clear() {
+    entries_.clear();
+    pos_.clear();
+  }
+
   /// Visits entries in exact non-increasing priority order, without mutating
   /// the heap, until `fn` returns false or the heap is exhausted.
   /// fn: bool(const HeapEntry&).

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <limits>
 #include <mutex>
 #include <thread>
 
@@ -26,25 +27,43 @@ ThreadExecutor::ThreadExecutor(const TaskGraph& graph, const Platform& platform,
   graph_.self_check();
 }
 
-ExecResult ThreadExecutor::run(const ExecSchedulerFactory& make_scheduler) {
+ExecResult ThreadExecutor::run(const ExecSchedulerFactory& make_scheduler,
+                               ExecConfig config) {
   HistoryModel history(graph_, perf_);
   MemoryManager memory(graph_, platform_);
   DepCounters deps(graph_);
+  WorkerLiveness liveness(platform_);
+  std::unique_ptr<FaultInjector> injector;
+  if (!config.fault.empty())
+    injector = std::make_unique<FaultInjector>(config.fault, graph_);
+  // Kernel exceptions are retried even without a plan; the default budget
+  // of a default-constructed FaultPlan applies then.
+  const std::size_t retry_budget = config.fault.retry_budget;
+  std::vector<double> lost_at(platform_.num_workers(),
+                              std::numeric_limits<double>::infinity());
+  for (const WorkerLossSpec& l : config.fault.worker_losses) {
+    MP_CHECK_MSG(l.worker.index() < platform_.num_workers(),
+                 "fault plan kills a worker the platform does not have");
+    lost_at[l.worker.index()] = std::min(lost_at[l.worker.index()], l.time);
+  }
 
   std::mutex mu;
   std::condition_variable cv;
   std::uint64_t state_version = 0;
   std::size_t completed = 0;
+  std::size_t abandoned = 0;
   const std::size_t total = graph_.num_tasks();
   const double t0 = now_seconds();
+  auto elapsed = [t0] { return now_seconds() - t0; };
 
   SchedContext ctx;
   ctx.graph = &graph_;
   ctx.platform = &platform_;
   ctx.perf = &history;
   ctx.memory = &memory;
-  ctx.now = [t0] { return now_seconds() - t0; };
+  ctx.now = elapsed;
   ctx.prefetch = nullptr;  // no timed links in real mode
+  ctx.liveness = &liveness;
   std::unique_ptr<Scheduler> sched = make_scheduler(std::move(ctx));
   MP_CHECK(sched != nullptr);
 
@@ -52,30 +71,65 @@ ExecResult ThreadExecutor::run(const ExecSchedulerFactory& make_scheduler) {
     std::lock_guard lock(mu);
     for (TaskId t : graph_.initial_ready()) sched->push(t);
   }
+  std::vector<WorkerId> dead_at_start;
+  for (std::size_t wi = 0; wi < platform_.num_workers(); ++wi)
+    if (lost_at[wi] <= 0.0) dead_at_start.push_back(WorkerId{wi});
 
   ExecResult result;
   result.tasks_per_worker.assign(platform_.num_workers(), 0);
   std::vector<bool> executed(total, false);
+  std::vector<bool> abandoned_mask(total, false);
+  std::vector<std::size_t> attempts(total, 0);  // failed attempts per task
   // Per-handle mutexes enforcing AccessMode::Commute mutual exclusion.
   std::vector<std::unique_ptr<std::mutex>> commute_mu(graph_.handles().count());
   for (auto& m : commute_mu) m = std::make_unique<std::mutex>();
 
+  // Both closures require `mu` to be held by the caller.
+  auto abandon = [&](TaskId t) {
+    std::vector<TaskId> frontier{t};
+    while (!frontier.empty()) {
+      const TaskId cur = frontier.back();
+      frontier.pop_back();
+      if (abandoned_mask[cur.index()]) continue;
+      abandoned_mask[cur.index()] = true;
+      ++abandoned;
+      for (TaskId s : graph_.successors(cur)) frontier.push_back(s);
+    }
+  };
+  auto has_live_capable = [&](TaskId t) {
+    for (const Worker& wk : platform_.workers())
+      if (liveness.alive(wk.id) && graph_.can_exec(t, wk.arch)) return true;
+    return false;
+  };
+
   auto worker_body = [&](WorkerId w) {
     const ArchType arch = platform_.worker(w).arch;
     std::unique_lock lock(mu);
-    while (completed < total) {
+    while (completed + abandoned < total) {
+      if (!liveness.alive(w)) return;  // lost before this thread ever ran
+      if (elapsed() >= lost_at[w.index()]) {
+        // Fail-stop: this thread retires between tasks. Liveness flips
+        // first, then the policy rebuilds and surrenders orphans.
+        liveness.mark_dead(w);
+        ++result.fault.workers_lost;
+        for (TaskId t : sched->notify_worker_removed(w)) abandon(t);
+        ++state_version;
+        cv.notify_all();
+        return;
+      }
       const std::optional<TaskId> popped = sched->pop(w);
       if (!popped) {
         const std::uint64_t seen = state_version;
         // Timed wait: a buggy policy must not hang the process — the worker
         // simply retries, and the post-run checks will flag lost tasks.
-        (void)cv.wait_for(lock, std::chrono::seconds(2),
-                          [&] { return completed == total || state_version != seen; });
+        (void)cv.wait_for(lock, std::chrono::seconds(2), [&] {
+          return completed + abandoned == total || state_version != seen;
+        });
         continue;
       }
       const TaskId t = *popped;
       MP_CHECK_MSG(!executed[t.index()], "task popped twice");
-      executed[t.index()] = true;
+      const std::size_t attempt = attempts[t.index()];
       // Keep logical data placement in sync so locality heuristics see the
       // same world as in simulation (transfers are free functionally).
       std::vector<TransferOp> ops;
@@ -101,23 +155,72 @@ ExecResult ThreadExecutor::run(const ExecSchedulerFactory& make_scheduler) {
       locks.erase(std::unique(locks.begin(), locks.end()), locks.end());
       for (std::uint32_t d : locks) commute_mu[d]->lock();
       const double start = now_seconds();
-      fn(graph_.task(t), buffers);
+      bool failed = false;
+      try {
+        fn(graph_.task(t), buffers);
+      } catch (...) {
+        failed = true;  // exception-to-retry: treated as a transient failure
+      }
       const double dur = std::max(1e-9, now_seconds() - start);
       for (auto it = locks.rbegin(); it != locks.rend(); ++it)
         commute_mu[*it]->unlock();
+      bool straggled = false;
+      if (!failed && injector != nullptr) {
+        if (injector->fail_attempt(t, attempt)) failed = true;
+        const double mult = injector->duration_multiplier(t, attempt);
+        if (mult > 1.0) {
+          // Functional emulation of a straggler: hold the worker as long as
+          // the slowdown would have.
+          std::this_thread::sleep_for(std::chrono::duration<double>(dur * (mult - 1.0)));
+          straggled = true;
+        }
+      }
 
       lock.lock();
+      if (straggled) ++result.fault.stragglers_injected;
+      if (failed) {
+        ++result.fault.failures_injected;
+        const std::size_t failures = ++attempts[t.index()];
+        if (failures > retry_budget) {
+          abandon(t);
+        } else {
+          ++result.fault.retries;
+          sched->repush(t);
+        }
+        ++state_version;
+        cv.notify_all();
+        continue;
+      }
+      executed[t.index()] = true;
       history.record(t, arch, dur);
       ++result.tasks_per_worker[w.index()];
       sched->on_task_end(t, w);
       std::vector<TaskId> newly;
       deps.complete(t, newly);
-      for (TaskId nt : newly) sched->push(nt);
+      for (TaskId nt : newly) {
+        if (result.fault.workers_lost > 0 && !has_live_capable(nt)) {
+          abandon(nt);
+        } else {
+          sched->push(nt);
+        }
+      }
       ++completed;
       ++state_version;
       cv.notify_all();
     }
   };
+
+  // Losses at t <= 0 are applied before any thread spawns: the run must see
+  // them even if the surviving workers finish the DAG before the doomed
+  // thread gets scheduled by the OS.
+  {
+    std::lock_guard lock(mu);
+    for (WorkerId w : dead_at_start) {
+      liveness.mark_dead(w);
+      ++result.fault.workers_lost;
+      for (TaskId t : sched->notify_worker_removed(w)) abandon(t);
+    }
+  }
 
   std::vector<std::thread> threads;
   threads.reserve(platform_.num_workers());
@@ -125,10 +228,13 @@ ExecResult ThreadExecutor::run(const ExecSchedulerFactory& make_scheduler) {
     threads.emplace_back(worker_body, WorkerId{wi});
   for (auto& th : threads) th.join();
 
-  MP_CHECK(completed == total);
+  MP_CHECK_MSG(completed + abandoned == total,
+               "run ended with tasks neither executed nor abandoned");
   MP_CHECK_MSG(sched->pending_count() == 0, "scheduler still holds tasks");
   result.wall_seconds = now_seconds() - t0;
   result.tasks_executed = completed;
+  result.fault.tasks_abandoned = abandoned;
+  result.fault.degraded = result.fault.workers_lost > 0 || abandoned > 0;
   return result;
 }
 

@@ -12,17 +12,30 @@
 #include <memory>
 #include <vector>
 
+#include "fault/fault_plan.hpp"
 #include "runtime/memory_manager.hpp"
 #include "runtime/perf_model.hpp"
 #include "runtime/scheduler.hpp"
 
 namespace mp {
 
+struct ExecConfig {
+  /// Fault-injection plan. Transient failures and stragglers match the
+  /// simulator's semantics (decided per (task, attempt) from the plan seed);
+  /// WorkerLossSpec times are wall-clock seconds since run start, and a loss
+  /// takes effect between tasks — a kernel already running is never torn
+  /// down mid-flight. A kernel that throws is converted into a transient
+  /// failure and retried against the same budget, plan or no plan.
+  FaultPlan fault;
+};
+
 struct ExecResult {
   double wall_seconds = 0.0;
   std::size_t tasks_executed = 0;
   /// Tasks executed per worker (scheduling-balance diagnostics).
   std::vector<std::size_t> tasks_per_worker;
+  /// Fault outcome (failures_injected also counts kernels that threw).
+  FaultStats fault;
 };
 
 using ExecSchedulerFactory = std::function<std::unique_ptr<Scheduler>(SchedContext)>;
@@ -37,7 +50,7 @@ class ThreadExecutor {
   /// Executes the whole DAG with real kernels. Every codelet reachable on a
   /// CPU worker must have cpu_fn; GPU-only codelets must have gpu_fn or
   /// cpu_fn. Aborts if a popped task has no runnable implementation.
-  ExecResult run(const ExecSchedulerFactory& make_scheduler);
+  ExecResult run(const ExecSchedulerFactory& make_scheduler, ExecConfig config = {});
 
  private:
   const TaskGraph& graph_;

@@ -1,0 +1,68 @@
+#include "fault/fault_plan.hpp"
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace mp {
+
+namespace {
+
+// Distinct salts keep the failure and straggler decision streams independent
+// even though they share the plan seed.
+constexpr std::uint64_t kTransientSalt = 0x7472'616e'7369'656eull;
+constexpr std::uint64_t kStragglerSalt = 0x7374'7261'6767'6c65ull;
+
+/// One uniform draw for (task, attempt), independent across attempts.
+[[nodiscard]] double draw(std::uint64_t seed, std::uint64_t salt, TaskId t,
+                          std::size_t attempt) {
+  Rng rng = Rng::derive(seed ^ salt,
+                        static_cast<std::uint64_t>(t.value()) * 1000003ull + attempt);
+  return rng.next_double();
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan, const TaskGraph& graph)
+    : plan_(std::move(plan)), graph_(&graph) {
+  for (const TransientFaultSpec& s : plan_.transient)
+    MP_CHECK_MSG(s.probability >= 0.0 && s.probability <= 1.0,
+                 "transient fault probability out of [0, 1]");
+  for (const StragglerSpec& s : plan_.stragglers) {
+    MP_CHECK_MSG(s.probability >= 0.0 && s.probability <= 1.0,
+                 "straggler probability out of [0, 1]");
+    MP_CHECK_MSG(s.multiplier > 0.0, "straggler multiplier must be positive");
+  }
+  for (const WorkerLossSpec& s : plan_.worker_losses) {
+    MP_CHECK_MSG(s.worker.valid(), "worker loss spec names an invalid worker");
+    MP_CHECK_MSG(s.time >= 0.0, "worker loss time must be non-negative");
+  }
+}
+
+const TransientFaultSpec* FaultInjector::transient_for(TaskId t) const {
+  const CodeletId c = graph_->task(t).codelet;
+  for (const TransientFaultSpec& s : plan_.transient)
+    if (!s.codelet.valid() || s.codelet == c) return &s;
+  return nullptr;
+}
+
+const StragglerSpec* FaultInjector::straggler_for(TaskId t) const {
+  const CodeletId c = graph_->task(t).codelet;
+  for (const StragglerSpec& s : plan_.stragglers)
+    if (!s.codelet.valid() || s.codelet == c) return &s;
+  return nullptr;
+}
+
+bool FaultInjector::fail_attempt(TaskId t, std::size_t attempt) const {
+  const TransientFaultSpec* spec = transient_for(t);
+  if (spec == nullptr || spec->probability <= 0.0) return false;
+  return draw(plan_.seed, kTransientSalt, t, attempt) < spec->probability;
+}
+
+double FaultInjector::duration_multiplier(TaskId t, std::size_t attempt) const {
+  const StragglerSpec* spec = straggler_for(t);
+  if (spec == nullptr || spec->probability <= 0.0) return 1.0;
+  if (draw(plan_.seed, kStragglerSalt, t, attempt) >= spec->probability) return 1.0;
+  return spec->multiplier;
+}
+
+}  // namespace mp

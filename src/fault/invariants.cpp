@@ -1,0 +1,115 @@
+#include "fault/invariants.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "core/multiprio.hpp"
+
+namespace mp {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+template <typename... Args>
+void report(InvariantReport& r, Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  r.violations.push_back(os.str());
+}
+
+}  // namespace
+
+std::string InvariantReport::to_string() const {
+  std::ostringstream os;
+  if (ok()) return "all fault invariants hold\n";
+  os << violations.size() << " invariant violation(s):\n";
+  for (const std::string& v : violations) os << "  - " << v << "\n";
+  return os.str();
+}
+
+InvariantReport check_fault_invariants(const TaskGraph& graph, const Platform& platform,
+                                       const FaultPlan& plan, SimEngine& engine,
+                                       const SimResult& result) {
+  InvariantReport rep;
+  const Trace& trace = engine.trace();
+  const WorkerLiveness& live = engine.liveness();
+  Scheduler& sched = engine.scheduler();
+
+  // Conservation: executed + abandoned covers the graph, with no task
+  // executed twice (exec_count > 1) or both executed and abandoned.
+  std::vector<std::size_t> exec_count(graph.num_tasks(), 0);
+  std::vector<std::int64_t> seg_of(graph.num_tasks(), -1);
+  for (std::size_t si = 0; si < trace.segments().size(); ++si) {
+    const TraceSegment& s = trace.segments()[si];
+    ++exec_count[s.task.index()];
+    seg_of[s.task.index()] = static_cast<std::int64_t>(si);
+  }
+  for (std::size_t ti = 0; ti < graph.num_tasks(); ++ti)
+    if (exec_count[ti] > 1)
+      report(rep, "task ", ti, " executed ", exec_count[ti], " times");
+  if (trace.num_executed() + result.fault.tasks_abandoned != graph.num_tasks())
+    report(rep, "conservation broken: ", trace.num_executed(), " executed + ",
+           result.fault.tasks_abandoned, " abandoned != ", graph.num_tasks(), " tasks");
+
+  // Legality of every executed segment.
+  const double makespan = trace.makespan();
+  for (const TraceSegment& s : trace.segments()) {
+    if (!graph.can_exec(s.task, platform.worker(s.worker).arch))
+      report(rep, "task ", s.task.value(), " ran on incapable worker ",
+             s.worker.value());
+    for (TaskId p : graph.predecessors(s.task)) {
+      if (seg_of[p.index()] < 0) {
+        report(rep, "task ", s.task.value(), " executed but predecessor ",
+               p.value(), " did not");
+        continue;
+      }
+      const TraceSegment& ps =
+          trace.segments()[static_cast<std::size_t>(seg_of[p.index()])];
+      if (ps.end > s.fetch_start + kEps)
+        report(rep, "dependency violated: ", p.value(), " ends at ", ps.end,
+               " after ", s.task.value(), " fetches at ", s.fetch_start);
+    }
+  }
+
+  // Fail-stop: the earliest configured loss of a worker bounds its activity,
+  // and the loss must have left the worker dead.
+  std::vector<double> lost_at(platform.num_workers(),
+                              std::numeric_limits<double>::infinity());
+  for (const WorkerLossSpec& l : plan.worker_losses)
+    lost_at[l.worker.index()] = std::min(lost_at[l.worker.index()], l.time);
+  for (const TraceSegment& s : trace.segments())
+    if (s.end > lost_at[s.worker.index()] + kEps)
+      report(rep, "task ", s.task.value(), " finished at ", s.end, " on worker ",
+             s.worker.value(), " lost at ", lost_at[s.worker.index()]);
+  for (const WorkerLossSpec& l : plan.worker_losses)
+    if (live.alive(l.worker))
+      report(rep, "worker ", l.worker.value(), " still alive after its loss");
+  (void)makespan;
+
+  // Scheduler drain.
+  if (sched.pending_count() != 0)
+    report(rep, "scheduler still holds ", sched.pending_count(), " tasks");
+  if (auto* mp = dynamic_cast<MultiPrioScheduler*>(&sched)) {
+    for (std::size_t mi = 0; mi < platform.num_nodes(); ++mi) {
+      const MemNodeId m{mi};
+      if (mp->best_remaining_work(m) < 0.0)
+        report(rep, "best_remaining_work of node ", mi, " is negative: ",
+               mp->best_remaining_work(m));
+      // Heaps may hold lazily removed (taken) duplicates at the end of a
+      // run; what they must not hold is a task still pending — least of all
+      // in the heap of a node with no live workers left.
+      mp->heap(m).for_top([&](const HeapEntry& e) {
+        if (mp->is_pending(e.task))
+          report(rep, "pending task ", e.task.value(), " stranded in ",
+                 live.live_on_node(m) == 0 ? "dead " : "", "node ", mi, "'s heap");
+        return true;
+      });
+    }
+  }
+
+  return rep;
+}
+
+}  // namespace mp

@@ -1,0 +1,41 @@
+// Post-run invariant audit for (possibly fault-injected) simulations.
+//
+// The engine's own MP_CHECKs abort on violation mid-run; this checker is the
+// forensic counterpart used by tests and the fault bench: it re-derives the
+// conservation and consistency properties from the finished run's artefacts
+// (trace, scheduler introspection, liveness) and reports every violation
+// instead of stopping at the first.
+//
+// Invariants checked:
+//  * conservation — every task either executed exactly once or is accounted
+//    for in tasks_abandoned; nothing is silently lost;
+//  * legality — every executed segment ran on a capable architecture, after
+//    all of its predecessors finished;
+//  * fail-stop — no segment finishes on a worker after that worker's
+//    configured loss time, and every configured loss left the worker dead;
+//  * scheduler drain — pending_count() is zero, and (MultiPrio) no pending
+//    task is stranded in any heap and best_remaining_work stayed >= 0.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "sim/engine.hpp"
+
+namespace mp {
+
+struct InvariantReport {
+  std::vector<std::string> violations;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Audits a finished run of `engine` (run() must have completed) against the
+/// plan it was configured with. Non-const engine: scheduler introspection.
+InvariantReport check_fault_invariants(const TaskGraph& graph, const Platform& platform,
+                                       const FaultPlan& plan, SimEngine& engine,
+                                       const SimResult& result);
+
+}  // namespace mp

@@ -200,6 +200,29 @@ void MemoryManager::prefetch(DataId d, MemNodeId node, std::vector<TransferOp>& 
   touch(d, node);
 }
 
+void MemoryManager::evacuate_node(MemNodeId node, std::vector<TransferOp>& ops) {
+  sync_new_handles();
+  const MemNodeId ram = platform_.ram_node();
+  if (node == ram) return;  // RAM loss is unsurvivable and not modelled
+  for (std::size_t di = 0; di < data_.size(); ++di) {
+    const DataId d{di};
+    DataState& ds = data_[di];
+    if (!ds.valid[node.index()]) continue;
+    MP_ASSERT(pin_count_.find(pin_key(d, node)) == pin_count_.end());
+    if (std::count(ds.valid.begin(), ds.valid.end(), true) == 1) {
+      // Sole copy: migrate it to RAM while the link still exists.
+      const std::size_t bytes = graph_.handles().get(d).bytes;
+      ops.push_back(TransferOp{d, node, ram, bytes, true});
+      nodes_[node.index()].bytes_out += bytes;
+      nodes_[ram.index()].bytes_in += bytes;
+      ds.valid[ram.index()] = true;
+      touch(d, ram);
+      ds.owner = ram;
+    }
+    drop_copy(d, node);
+  }
+}
+
 void MemoryManager::pin_task_data(TaskId t, MemNodeId node) {
   for (const Access& a : graph_.task(t).accesses) ++pin_count_[pin_key(a.data, node)];
 }

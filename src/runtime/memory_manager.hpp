@@ -48,6 +48,12 @@ class MemoryManager {
   void pin_task_data(TaskId t, MemNodeId node);
   void unpin_task_data(TaskId t, MemNodeId node);
 
+  /// Graceful device retirement (fail-stop loss of a node's last worker):
+  /// writes every sole authoritative copy held on `node` back to RAM and
+  /// drops all of the node's copies, appending the writeback movements to
+  /// `ops`. The caller must have unpinned everything on the node first.
+  void evacuate_node(MemNodeId node, std::vector<TransferOp>& ops);
+
   // --- queries used by schedulers ----------------------------------------
 
   [[nodiscard]] bool is_valid_on(DataId d, MemNodeId node) const;

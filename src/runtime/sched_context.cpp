@@ -6,11 +6,33 @@
 
 namespace mp {
 
+bool worker_alive(const SchedContext& ctx, WorkerId w) {
+  return ctx.liveness == nullptr || ctx.liveness->alive(w);
+}
+
+std::size_t live_worker_count(const SchedContext& ctx, ArchType a) {
+  return ctx.liveness != nullptr ? ctx.liveness->live_count(a)
+                                 : ctx.platform->worker_count(a);
+}
+
+std::size_t live_workers_of_node(const SchedContext& ctx, MemNodeId m) {
+  return ctx.liveness != nullptr ? ctx.liveness->live_on_node(m)
+                                 : ctx.platform->workers_of_node(m).size();
+}
+
+bool task_has_live_worker(const SchedContext& ctx, TaskId t) {
+  for (std::size_t ai = 0; ai < kNumArchTypes; ++ai) {
+    const auto a = static_cast<ArchType>(ai);
+    if (ctx.graph->can_exec(t, a) && live_worker_count(ctx, a) > 0) return true;
+  }
+  return false;
+}
+
 std::vector<ArchType> enabled_archs(const SchedContext& ctx, TaskId t) {
   std::vector<ArchType> out;
   for (std::size_t ai = 0; ai < kNumArchTypes; ++ai) {
     const auto a = static_cast<ArchType>(ai);
-    if (ctx.graph->can_exec(t, a) && ctx.platform->worker_count(a) > 0) out.push_back(a);
+    if (ctx.graph->can_exec(t, a) && live_worker_count(ctx, a) > 0) out.push_back(a);
   }
   return out;
 }

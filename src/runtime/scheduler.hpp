@@ -1,9 +1,11 @@
 // The pluggable scheduling-policy interface (StarPU's PUSH/POP contract).
 #pragma once
 
+#include <array>
 #include <functional>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/ids.hpp"
 #include "runtime/memory_manager.hpp"
@@ -21,6 +23,50 @@ class PrefetchSink {
   virtual void request_prefetch(DataId data, MemNodeId node) = 0;
 };
 
+/// Which workers are still alive. Engines that support fail-stop worker loss
+/// own one and flip it *before* notifying the policy; a null liveness in the
+/// SchedContext means every worker of the platform is alive.
+class WorkerLiveness {
+ public:
+  explicit WorkerLiveness(const Platform& platform)
+      : platform_(&platform),
+        alive_(platform.num_workers(), true),
+        node_live_(platform.num_nodes(), 0) {
+    for (const Worker& w : platform.workers()) {
+      ++node_live_[w.node.index()];
+      ++arch_live_[arch_index(w.arch)];
+    }
+  }
+
+  [[nodiscard]] bool alive(WorkerId w) const { return alive_[w.index()]; }
+  [[nodiscard]] std::size_t live_count(ArchType a) const {
+    return arch_live_[arch_index(a)];
+  }
+  [[nodiscard]] std::size_t live_on_node(MemNodeId m) const {
+    return node_live_[m.index()];
+  }
+  [[nodiscard]] std::size_t total_live() const {
+    std::size_t n = 0;
+    for (std::size_t c : arch_live_) n += c;
+    return n;
+  }
+
+  /// Fail-stop: idempotent, never reversed.
+  void mark_dead(WorkerId w) {
+    if (!alive_[w.index()]) return;
+    alive_[w.index()] = false;
+    const Worker& wk = platform_->worker(w);
+    --node_live_[wk.node.index()];
+    --arch_live_[arch_index(wk.arch)];
+  }
+
+ private:
+  const Platform* platform_;
+  std::vector<bool> alive_;
+  std::vector<std::size_t> node_live_;
+  std::array<std::size_t, kNumArchTypes> arch_live_{};
+};
+
 /// Everything a policy may inspect — the scheduler-visible surface of the
 /// runtime (graph topology, platform, δ(t,a) estimates, data placement).
 struct SchedContext {
@@ -32,6 +78,8 @@ struct SchedContext {
   std::function<double()> now;
   /// May be null when the engine does not support prefetching.
   PrefetchSink* prefetch = nullptr;
+  /// May be null when the engine does not support worker loss (= all alive).
+  const WorkerLiveness* liveness = nullptr;
 };
 
 /// A scheduling policy. The engine calls push() when a task becomes ready
@@ -48,6 +96,23 @@ class Scheduler {
 
   virtual void push(TaskId t) = 0;
   [[nodiscard]] virtual std::optional<TaskId> pop(WorkerId w) = 0;
+
+  /// Re-enqueues a previously popped task whose execution did not complete —
+  /// a transient failure being retried, or work drained off a dead worker.
+  /// Policies whose push() tolerates re-insertion inherit this default;
+  /// policies with pop-time bookkeeping (MultiPrio's taken-set) override it.
+  virtual void repush(TaskId t) { push(t); }
+
+  /// Fail-stop removal of `w`. The engine flips the SchedContext's liveness
+  /// mask *before* calling this. The policy must drop per-worker state and
+  /// keep every pending task reachable from a live worker; tasks that no
+  /// longer have any live capable worker are returned so the engine can
+  /// account for their abandonment. Tasks in flight on the dead worker are
+  /// the engine's problem (drained and repush()ed afterwards, without a
+  /// matching on_task_end for the interrupted on_task_start).
+  [[nodiscard]] virtual std::vector<TaskId> notify_worker_removed(WorkerId /*w*/) {
+    return {};
+  }
 
   /// Notifications (optional for policies that track load).
   virtual void on_task_start(TaskId /*t*/, WorkerId /*w*/) {}
@@ -70,9 +135,24 @@ class Scheduler {
 };
 
 // --- helpers shared by several policies ------------------------------------
+// All of these are liveness-aware: with a WorkerLiveness in the context,
+// dead workers do not count as capacity, so after a device loss "best arch"
+// verdicts and speedups are judged against the surviving platform.
+
+/// Is `w` alive (always true without a liveness mask)?
+[[nodiscard]] bool worker_alive(const SchedContext& ctx, WorkerId w);
+
+/// Live workers of architecture `a`.
+[[nodiscard]] std::size_t live_worker_count(const SchedContext& ctx, ArchType a);
+
+/// Live workers attached to memory node `m`.
+[[nodiscard]] std::size_t live_workers_of_node(const SchedContext& ctx, MemNodeId m);
+
+/// Can any live worker execute `t`? False means the task is orphaned.
+[[nodiscard]] bool task_has_live_worker(const SchedContext& ctx, TaskId t);
 
 /// Architectures that both have an implementation of `t` and at least one
-/// worker on the platform, i.e. the archs the task can actually run on.
+/// live worker on the platform, i.e. the archs the task can actually run on.
 [[nodiscard]] std::vector<ArchType> enabled_archs(const SchedContext& ctx, TaskId t);
 
 /// Fastest enabled arch for `t` according to δ(t,a); requires ≥1 enabled.

@@ -25,40 +25,8 @@ class DmFamilyScheduler final : public Scheduler {
   }
 
   void push(TaskId t) override {
-    const double now = ctx_.now ? ctx_.now() : 0.0;
-    double best_fitness = std::numeric_limits<double>::infinity();
-    std::size_t best_w = 0;
-    bool found = false;
-    for (const Worker& w : ctx_.platform->workers()) {
-      if (!ctx_.graph->can_exec(t, w.arch)) continue;
-      const double start = std::max(now, expected_end_[w.id.index()]);
-      const double exec = ctx_.perf->estimate(t, w.arch);
-      const double transfer =
-          variant_ == DmVariant::Dm
-              ? 0.0
-              : ctx_.memory->estimated_transfer_time(t, w.node);
-      const double fitness = start + kAlpha * exec + kBeta * transfer;
-      if (fitness < best_fitness ||
-          (fitness == best_fitness && queues_[w.id.index()].size() < queues_[best_w].size())) {
-        best_fitness = fitness;
-        best_w = w.id.index();
-        found = true;
-      }
-    }
-    MP_CHECK_MSG(found, "task has no capable worker");
-
-    expected_end_[best_w] = best_fitness;
-    insert_sorted(queues_[best_w], t);
+    map_and_enqueue(t);
     ++pending_;
-
-    // Push-time mapping enables early data prefetch to the target node —
-    // the advantage the paper credits Dmdas with on transfer-bound runs.
-    if (variant_ != DmVariant::Dm && ctx_.prefetch != nullptr) {
-      const MemNodeId node = ctx_.platform->worker(WorkerId{best_w}).node;
-      for (const Access& a : ctx_.graph->task(t).accesses) {
-        if (mode_reads(a.mode)) ctx_.prefetch->request_prefetch(a.data, node);
-      }
-    }
   }
 
   std::optional<TaskId> pop(WorkerId w) override {
@@ -90,6 +58,24 @@ class DmFamilyScheduler final : public Scheduler {
   // ledger against observed completions; mispredictions persist until the
   // queue drains (push() clamps the base to now()). We model the same.
 
+  std::vector<TaskId> notify_worker_removed(WorkerId w) override {
+    // Push-time mapping is the policy's weakness under loss: everything the
+    // dead worker had queued must be remapped onto the survivors.
+    std::vector<TaskId> orphans;
+    std::deque<TaskId> stranded;
+    stranded.swap(queues_[w.index()]);
+    expected_end_[w.index()] = 0.0;
+    for (TaskId t : stranded) {
+      if (task_has_live_worker(ctx_, t)) {
+        map_and_enqueue(t);  // pending_ already counts the task
+      } else {
+        orphans.push_back(t);
+        --pending_;
+      }
+    }
+    return orphans;
+  }
+
   [[nodiscard]] std::string name() const override {
     switch (variant_) {
       case DmVariant::Dm: return "dm";
@@ -107,6 +93,44 @@ class DmFamilyScheduler final : public Scheduler {
   static constexpr double kAlpha = 1.0;  // StarPU's default exec weight
   static constexpr double kBeta = 1.0;   // StarPU's default transfer weight
   static constexpr std::size_t kDataAwareWindow = 16;
+
+  /// HEFT mapping over the live workers + enqueue + prefetch; the caller
+  /// accounts pending_ (push counts the task, a remap after loss does not).
+  void map_and_enqueue(TaskId t) {
+    const double now = ctx_.now ? ctx_.now() : 0.0;
+    double best_fitness = std::numeric_limits<double>::infinity();
+    std::size_t best_w = 0;
+    bool found = false;
+    for (const Worker& w : ctx_.platform->workers()) {
+      if (!ctx_.graph->can_exec(t, w.arch) || !worker_alive(ctx_, w.id)) continue;
+      const double start = std::max(now, expected_end_[w.id.index()]);
+      const double exec = ctx_.perf->estimate(t, w.arch);
+      const double transfer =
+          variant_ == DmVariant::Dm
+              ? 0.0
+              : ctx_.memory->estimated_transfer_time(t, w.node);
+      const double fitness = start + kAlpha * exec + kBeta * transfer;
+      if (fitness < best_fitness ||
+          (fitness == best_fitness && queues_[w.id.index()].size() < queues_[best_w].size())) {
+        best_fitness = fitness;
+        best_w = w.id.index();
+        found = true;
+      }
+    }
+    MP_CHECK_MSG(found, "task has no capable worker");
+
+    expected_end_[best_w] = best_fitness;
+    insert_sorted(queues_[best_w], t);
+
+    // Push-time mapping enables early data prefetch to the target node —
+    // the advantage the paper credits Dmdas with on transfer-bound runs.
+    if (variant_ != DmVariant::Dm && ctx_.prefetch != nullptr) {
+      const MemNodeId node = ctx_.platform->worker(WorkerId{best_w}).node;
+      for (const Access& a : ctx_.graph->task(t).accesses) {
+        if (mode_reads(a.mode)) ctx_.prefetch->request_prefetch(a.data, node);
+      }
+    }
+  }
 
   void insert_sorted(std::deque<TaskId>& q, TaskId t) {
     if (variant_ != DmVariant::Dmdas) {

@@ -34,6 +34,21 @@ class EagerScheduler final : public Scheduler {
     return std::nullopt;
   }
 
+  std::vector<TaskId> notify_worker_removed(WorkerId /*w*/) override {
+    // The central queue survives any loss; only tasks whose every capable
+    // worker died must be surrendered (they would sit unpoppable forever).
+    std::vector<TaskId> orphans;
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      if (!task_has_live_worker(ctx_, *it)) {
+        orphans.push_back(*it);
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return orphans;
+  }
+
   [[nodiscard]] std::string name() const override { return "eager"; }
   [[nodiscard]] std::size_t pending_count() const override { return queue_.size(); }
   [[nodiscard]] bool has_work_hint(WorkerId) const override { return !queue_.empty(); }

@@ -33,10 +33,10 @@ class HeteroPrioScheduler final : public Scheduler {
     // Update the running mean speedup of the type from the δ estimates.
     Stats& s = stats_[c.index()];
     const Codelet& cl = ctx_.graph->codelet(c);
-    if (cl.can_exec(ArchType::CPU) && ctx_.platform->worker_count(ArchType::CPU) > 0) {
+    if (cl.can_exec(ArchType::CPU) && live_worker_count(ctx_, ArchType::CPU) > 0) {
       s.add(s.cpu, ctx_.perf->estimate(t, ArchType::CPU));
     }
-    if (cl.can_exec(ArchType::GPU) && ctx_.platform->worker_count(ArchType::GPU) > 0) {
+    if (cl.can_exec(ArchType::GPU) && live_worker_count(ctx_, ArchType::GPU) > 0) {
       s.add(s.gpu, ctx_.perf->estimate(t, ArchType::GPU));
     }
     const ArchType best = best_arch_for(ctx_, t);
@@ -68,7 +68,7 @@ class HeteroPrioScheduler final : public Scheduler {
         // per worker than this worker needs to run it.
         const double per_worker =
             backlog_[arch_index(best)] /
-            static_cast<double>(std::max<std::size_t>(1, ctx_.platform->worker_count(best)));
+            static_cast<double>(std::max<std::size_t>(1, live_worker_count(ctx_, best)));
         if (per_worker <= ctx_.perf->estimate(t, a)) continue;
       }
       bucket.pop_front();
@@ -79,6 +79,29 @@ class HeteroPrioScheduler final : public Scheduler {
       return t;
     }
     return std::nullopt;
+  }
+
+  std::vector<TaskId> notify_worker_removed(WorkerId /*w*/) override {
+    // Buckets are arch-agnostic, so surviving workers keep consuming them;
+    // only tasks with no live capable worker must leave. A fully dead
+    // architecture also surrenders its backlog — the slowdown guard must not
+    // keep steering work toward capacity that no longer exists.
+    std::vector<TaskId> orphans;
+    for (auto& bucket : buckets_) {
+      for (auto it = bucket.begin(); it != bucket.end();) {
+        if (!task_has_live_worker(ctx_, *it)) {
+          orphans.push_back(*it);
+          --pending_;
+          it = bucket.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    for (std::size_t ai = 0; ai < kNumArchTypes; ++ai) {
+      if (live_worker_count(ctx_, static_cast<ArchType>(ai)) == 0) backlog_[ai] = 0.0;
+    }
+    return orphans;
   }
 
   [[nodiscard]] std::string name() const override { return "heteroprio"; }

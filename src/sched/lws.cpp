@@ -20,8 +20,9 @@ class LwsScheduler final : public Scheduler {
   }
 
   void push(TaskId t) override {
-    const std::size_t home =
+    std::size_t home =
         last_finisher_.valid() ? last_finisher_.index() : std::size_t{0};
+    if (!worker_alive(ctx_, WorkerId{home})) home = first_live_worker();
     queues_[home].push_back(t);
     ++pending_;
   }
@@ -47,11 +48,42 @@ class LwsScheduler final : public Scheduler {
 
   void on_task_end(TaskId, WorkerId w) override { last_finisher_ = w; }
 
+  std::vector<TaskId> notify_worker_removed(WorkerId w) override {
+    if (last_finisher_ == w) last_finisher_ = WorkerId{};
+    // Move the dead worker's deque to a live home (steals would eventually
+    // drain it, but a live home keeps the LIFO-hot ordering meaningful), and
+    // purge tasks that no live worker can serve from every queue — e.g.
+    // GPU-only tasks stranded in a CPU deque once the GPUs die.
+    std::vector<TaskId> orphans;
+    std::deque<TaskId> stranded;
+    stranded.swap(queues_[w.index()]);
+    const std::size_t home = first_live_worker();
+    for (TaskId t : stranded) queues_[home].push_back(t);
+    for (auto& q : queues_) {
+      for (auto it = q.begin(); it != q.end();) {
+        if (!task_has_live_worker(ctx_, *it)) {
+          orphans.push_back(*it);
+          --pending_;
+          it = q.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    return orphans;
+  }
+
   [[nodiscard]] std::string name() const override { return "lws"; }
   [[nodiscard]] std::size_t pending_count() const override { return pending_; }
   [[nodiscard]] bool has_work_hint(WorkerId) const override { return pending_ > 0; }
 
  private:
+  [[nodiscard]] std::size_t first_live_worker() const {
+    for (std::size_t wi = 0; wi < queues_.size(); ++wi)
+      if (worker_alive(ctx_, WorkerId{wi})) return wi;
+    return 0;  // everyone is dead; the queue is unreachable either way
+  }
+
   std::optional<TaskId> take(std::deque<TaskId>& q, ArchType a, bool lifo) {
     if (lifo) {
       for (auto it = q.rbegin(); it != q.rend(); ++it) {

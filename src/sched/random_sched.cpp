@@ -21,7 +21,8 @@ class RandomScheduler final : public Scheduler {
   void push(TaskId t) override {
     std::vector<WorkerId> capable;
     for (const Worker& w : ctx_.platform->workers())
-      if (ctx_.graph->can_exec(t, w.arch)) capable.push_back(w.id);
+      if (ctx_.graph->can_exec(t, w.arch) && worker_alive(ctx_, w.id))
+        capable.push_back(w.id);
     MP_CHECK_MSG(!capable.empty(), "task has no capable worker");
     const std::size_t pick =
         static_cast<std::size_t>(rng_.next_in(0, capable.size() - 1));
@@ -36,6 +37,22 @@ class RandomScheduler final : public Scheduler {
     q.pop_front();
     --pending_;
     return t;
+  }
+
+  std::vector<TaskId> notify_worker_removed(WorkerId w) override {
+    // Re-draw an assignment for everything stranded on the dead worker.
+    std::vector<TaskId> orphans;
+    std::deque<TaskId> stranded;
+    stranded.swap(queues_[w.index()]);
+    for (TaskId t : stranded) {
+      --pending_;  // push() below re-counts the survivors
+      if (task_has_live_worker(ctx_, t)) {
+        push(t);
+      } else {
+        orphans.push_back(t);
+      }
+    }
+    return orphans;
   }
 
   [[nodiscard]] std::string name() const override { return "random"; }

@@ -1,9 +1,11 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "core/multiprio.hpp"
 
 namespace mp {
 
@@ -19,6 +21,9 @@ SimEngine::SimEngine(const TaskGraph& graph, const Platform& platform,
   trypop_pending_.assign(platform.num_workers(), false);
   exec_end_.assign(graph.num_tasks(), 0.0);
   exec_duration_.assign(graph.num_tasks(), 0.0);
+  attempts_.assign(graph.num_tasks(), 0);
+  abandoned_.assign(graph.num_tasks(), false);
+  attempt_on_.resize(platform.num_workers());
 }
 
 const Trace& SimEngine::trace() const {
@@ -41,14 +46,24 @@ Scheduler& SimEngine::scheduler() {
   return *sched_;
 }
 
+const WorkerLiveness& SimEngine::liveness() const {
+  MP_CHECK_MSG(liveness_ != nullptr, "run() first");
+  return *liveness_;
+}
+
 void SimEngine::request_prefetch(DataId data, MemNodeId node) {
   if (!running_) return;
+  // Prefetching onto a retired device would strand the copy.
+  if (platform_.node(node).kind == MemNodeKind::Gpu &&
+      liveness_->live_on_node(node) == 0)
+    return;
   std::vector<TransferOp> ops;
   memory_->prefetch(data, node, ops);
   (void)charge_transfers(ops, now_);
 }
 
 void SimEngine::schedule_try_pop(WorkerId w, double time) {
+  if (!liveness_->alive(w)) return;
   if (trypop_pending_[w.index()]) return;
   trypop_pending_[w.index()] = true;
   event_heap_.push_back(Event{time, next_seq_++, Event::Kind::TryPop, w, TaskId{}});
@@ -63,6 +78,7 @@ void SimEngine::wake_idle_workers() {
   for (std::size_t off = 0; off < n; ++off) {
     const std::size_t wi = (wake_rotor_ + off) % n;
     const WorkerId w{wi};
+    if (!liveness_->alive(w)) continue;
     const bool slots_free = pending_[wi].size() < cfg_.pipeline_depth;
     const bool wants_work =
         (!worker_busy_[wi] && pending_[wi].empty()) ||
@@ -72,7 +88,35 @@ void SimEngine::wake_idle_workers() {
   wake_rotor_ = (wake_rotor_ + 1) % std::max<std::size_t>(1, n);
 }
 
-void SimEngine::push_ready(TaskId t) { sched_->push(t); }
+void SimEngine::push_ready(TaskId t) {
+  // After a loss, a newly released task may have no surviving capable
+  // worker; handing it to the scheduler would only strand it there.
+  if (fstats_.workers_lost > 0 && !has_live_capable_worker(t)) {
+    abandon(t);
+    return;
+  }
+  sched_->push(t);
+}
+
+bool SimEngine::has_live_capable_worker(TaskId t) const {
+  for (const Worker& w : platform_.workers())
+    if (liveness_->alive(w.id) && graph_.can_exec(t, w.arch)) return true;
+  return false;
+}
+
+void SimEngine::abandon(TaskId t) {
+  // The whole descendant closure goes with `t`: none of its successors can
+  // ever satisfy their dependencies. abandoned_ doubles as the visited set.
+  std::vector<TaskId> frontier{t};
+  while (!frontier.empty()) {
+    const TaskId cur = frontier.back();
+    frontier.pop_back();
+    if (abandoned_[cur.index()]) continue;
+    abandoned_[cur.index()] = true;
+    ++fstats_.tasks_abandoned;
+    for (TaskId s : graph_.successors(cur)) frontier.push_back(s);
+  }
+}
 
 double SimEngine::charge_transfers(const std::vector<TransferOp>& ops, double start) {
   double done = start;
@@ -112,6 +156,13 @@ bool SimEngine::fill_pending(WorkerId w) {
   if (cfg_.noise_sigma > 0.0) {
     Rng rng = Rng::derive(cfg_.seed, t.value());
     duration *= std::max(0.05, 1.0 + cfg_.noise_sigma * rng.next_normal());
+  }
+  if (injector_ != nullptr) {
+    const double mult = injector_->duration_multiplier(t, attempts_[t.index()]);
+    if (mult != 1.0) {
+      duration *= mult;
+      ++fstats_.stragglers_injected;
+    }
   }
 
   // Commute mutual exclusion: reserve the handles' serialization points at
@@ -154,9 +205,11 @@ void SimEngine::start_pending(WorkerId w) {
 
   // Stall the worker actually observed: it was free at now_, data landed at
   // data_ready_at; pipelined transfers that finished during the previous
-  // execution cost nothing.
+  // execution cost nothing. The trace is recorded at *completion* (a failed
+  // or interrupted attempt must never appear as an execution), so stash what
+  // the record will need.
   const double stall = std::max(0.0, p.data_ready_at - now_);
-  trace_->record(TraceSegment{p.task, w, p.popped_at, exec_start, end, stall});
+  attempt_on_[w.index()] = RunningAttempt{p, exec_start, stall};
   sched_->on_task_start(p.task, w);
 
   event_heap_.push_back(Event{end, next_seq_++, Event::Kind::Complete, w, p.task});
@@ -166,6 +219,7 @@ void SimEngine::start_pending(WorkerId w) {
 
 void SimEngine::handle_try_pop(WorkerId w) {
   trypop_pending_[w.index()] = false;
+  if (!liveness_->alive(w)) return;  // queued before the worker's loss
   bool took_something = false;
   if (!worker_busy_[w.index()]) {
     // Start work: either the pipelined pending task or a fresh pop.
@@ -192,12 +246,38 @@ void SimEngine::handle_try_pop(WorkerId w) {
 }
 
 void SimEngine::handle_complete(const Event& e) {
+  const std::size_t wi = e.worker.index();
+  // A Complete queued by an attempt that was drained off a lost worker.
+  if (!liveness_->alive(e.worker)) return;
+  MP_ASSERT(worker_busy_[wi] && attempt_on_[wi].p.task == e.task);
+  const RunningAttempt run = attempt_on_[wi];
   const Worker& worker = platform_.worker(e.worker);
   memory_->unpin_task_data(e.task, worker.node);
-  // Feed the history model with the measured duration (includes noise), as
-  // StarPU's calibration does.
-  history_->record(e.task, worker.arch, std::max(1e-12, exec_duration_[e.task.index()]));
-  worker_busy_[e.worker.index()] = false;
+  worker_busy_[wi] = false;
+
+  if (injector_ != nullptr &&
+      injector_->fail_attempt(e.task, attempts_[e.task.index()])) {
+    // Transient failure: the attempt's time is spent, its result discarded.
+    // Data stays coherent (the acquire already happened); the retry simply
+    // re-acquires at its next pop, wherever that lands.
+    ++fstats_.failures_injected;
+    const std::size_t failures = ++attempts_[e.task.index()];
+    if (failures > injector_->retry_budget()) {
+      abandon(e.task);
+    } else {
+      ++fstats_.retries;
+      sched_->repush(e.task);
+    }
+    schedule_try_pop(e.worker, now_);
+    wake_idle_workers();
+    return;
+  }
+
+  // Feed the history model with the measured duration (includes noise and
+  // straggler slowdown), as StarPU's calibration does.
+  history_->record(e.task, worker.arch, std::max(1e-12, run.p.duration));
+  trace_->record(TraceSegment{e.task, e.worker, run.p.popped_at, run.exec_start,
+                              e.time, run.stall});
 
   // Notify completion before pushing the released successors so policies
   // with push-site locality (LWS) know which worker produced them.
@@ -210,6 +290,81 @@ void SimEngine::handle_complete(const Event& e) {
   wake_idle_workers();
 }
 
+void SimEngine::handle_worker_loss(const Event& e) {
+  const WorkerId w = e.worker;
+  if (!liveness_->alive(w)) return;  // duplicate loss spec
+  const Worker& worker = platform_.worker(w);
+  liveness_->mark_dead(w);
+  ++fstats_.workers_lost;
+
+  // Drain the interrupted attempt and the pipelined pops. Their pins go
+  // before any evacuation; their stale Complete/TryPop events are ignored by
+  // the liveness guards at the handlers' entry. Commute reservations of the
+  // drained attempts are left standing — stale reservations only
+  // over-serialize, they cannot violate mutual exclusion.
+  std::vector<TaskId> drained;
+  if (worker_busy_[w.index()]) {
+    drained.push_back(attempt_on_[w.index()].p.task);
+    worker_busy_[w.index()] = false;
+  }
+  for (const PendingTask& p : pending_[w.index()]) drained.push_back(p.task);
+  pending_[w.index()].clear();
+  for (TaskId t : drained) memory_->unpin_task_data(t, worker.node);
+
+  // Last worker of a GPU node: retire the device gracefully, migrating sole
+  // authoritative copies back to RAM while the link still exists.
+  if (platform_.node(worker.node).kind == MemNodeKind::Gpu &&
+      liveness_->live_on_node(worker.node) == 0) {
+    std::vector<TransferOp> ops;
+    memory_->evacuate_node(worker.node, ops);
+    (void)charge_transfers(ops, now_);
+  }
+
+  // Liveness is already flipped: the policy rebuilds against the surviving
+  // platform and surrenders tasks nobody can run any more.
+  std::vector<TaskId> orphans = sched_->notify_worker_removed(w);
+  for (TaskId t : drained) {
+    if (has_live_capable_worker(t)) {
+      ++fstats_.retries;
+      sched_->repush(t);
+    } else {
+      orphans.push_back(t);
+    }
+  }
+  for (TaskId t : orphans) abandon(t);
+  wake_idle_workers();
+}
+
+std::string SimEngine::stall_diagnostic(std::size_t processed) const {
+  std::ostringstream os;
+  os << "simulation stalled: " << processed << " events processed (cap "
+     << "reached) at t=" << now_ << "\n  scheduler " << sched_->name()
+     << ": pending_count=" << sched_->pending_count()
+     << ", failed_pops=" << failed_pops_ << "\n";
+  for (std::size_t wi = 0; wi < platform_.num_workers(); ++wi) {
+    os << "  worker " << wi << " (" << platform_.worker(WorkerId{wi}).name
+       << "): " << (liveness_->alive(WorkerId{wi}) ? "alive" : "DEAD")
+       << (worker_busy_[wi] ? ", busy" : ", idle")
+       << ", pipeline=" << pending_[wi].size() << "\n";
+  }
+  if (const auto* mp = dynamic_cast<const MultiPrioScheduler*>(sched_.get())) {
+    for (std::size_t mi = 0; mi < platform_.num_nodes(); ++mi)
+      os << "  node " << mi << ": heap=" << mp->heap(MemNodeId{mi}).size()
+         << ", ready=" << mp->ready_tasks_count(MemNodeId{mi})
+         << ", brw=" << mp->best_remaining_work(MemNodeId{mi}) << "\n";
+  }
+  std::vector<bool> executed(graph_.num_tasks(), false);
+  for (const TraceSegment& s : trace_->segments()) executed[s.task.index()] = true;
+  std::size_t stuck = 0;
+  os << "  stuck tasks:";
+  for (std::size_t ti = 0; ti < graph_.num_tasks(); ++ti) {
+    if (executed[ti] || abandoned_[ti]) continue;
+    if (++stuck <= 16) os << ' ' << ti;
+  }
+  os << (stuck > 16 ? " ...\n" : "\n") << "  stuck total: " << stuck << "\n";
+  return os.str();
+}
+
 SimResult SimEngine::run(const SchedulerFactory& make_scheduler) {
   MP_CHECK_MSG(!running_ && trace_ == nullptr, "engine is single-shot");
   history_ = std::make_unique<HistoryModel>(graph_, perf_);
@@ -217,6 +372,13 @@ SimResult SimEngine::run(const SchedulerFactory& make_scheduler) {
   memory_ = std::make_unique<MemoryManager>(graph_, platform_);
   trace_ = std::make_unique<Trace>(graph_, platform_);
   deps_ = std::make_unique<DepCounters>(graph_);
+  liveness_ = std::make_unique<WorkerLiveness>(platform_);
+  if (!cfg_.fault.empty()) {
+    injector_ = std::make_unique<FaultInjector>(cfg_.fault, graph_);
+    for (const WorkerLossSpec& l : injector_->worker_losses())
+      MP_CHECK_MSG(l.worker.index() < platform_.num_workers(),
+                   "fault plan kills a worker the platform does not have");
+  }
 
   SchedContext ctx;
   ctx.graph = &graph_;
@@ -225,10 +387,21 @@ SimResult SimEngine::run(const SchedulerFactory& make_scheduler) {
   ctx.memory = memory_.get();
   ctx.now = [this] { return now_; };
   ctx.prefetch = this;
+  ctx.liveness = liveness_.get();
   sched_ = make_scheduler(std::move(ctx));
   MP_CHECK(sched_ != nullptr);
   running_ = true;
 
+  // Loss events enter the heap first so a loss scheduled at t=0 outraces the
+  // initial pop attempts (lower seq wins among simultaneous events).
+  if (injector_ != nullptr) {
+    for (const WorkerLossSpec& l : injector_->worker_losses()) {
+      event_heap_.push_back(
+          Event{l.time, next_seq_++, Event::Kind::WorkerLoss, l.worker, TaskId{}});
+      std::push_heap(event_heap_.begin(), event_heap_.end(),
+                     [](const Event& a, const Event& b) { return a.after(b); });
+    }
+  }
   for (TaskId t : graph_.initial_ready()) push_ready(t);
   for (std::size_t wi = 0; wi < platform_.num_workers(); ++wi)
     schedule_try_pop(WorkerId{wi}, 0.0);
@@ -244,20 +417,32 @@ SimResult SimEngine::run(const SchedulerFactory& make_scheduler) {
     event_heap_.pop_back();
     MP_CHECK(e.time >= now_ - 1e-12);
     now_ = std::max(now_, e.time);
-    if (e.kind == Event::Kind::TryPop) {
-      handle_try_pop(e.worker);
-    } else {
-      handle_complete(e);
+    switch (e.kind) {
+      case Event::Kind::TryPop: handle_try_pop(e.worker); break;
+      case Event::Kind::Complete: handle_complete(e); break;
+      case Event::Kind::WorkerLoss: handle_worker_loss(e); break;
     }
-    MP_CHECK_MSG(++processed <= max_events,
-                 "event explosion: scheduler livelock or engine bug");
+    if (++processed > max_events) {
+      std::fputs(stall_diagnostic(processed).c_str(), stderr);
+      MP_CHECK_MSG(false, "event explosion: scheduler livelock or engine bug");
+    }
   }
   running_ = false;
+  fstats_.degraded = fstats_.workers_lost > 0 || fstats_.tasks_abandoned > 0;
 
-  MP_CHECK_MSG(trace_->num_executed() == graph_.num_tasks(),
-               "simulation ended with unexecuted tasks (scheduler lost tasks?)");
+  // Conservation: every task either executed exactly once or was explicitly
+  // abandoned; nothing is stranded inside the scheduler or a worker queue.
+  if (injector_ == nullptr) {
+    MP_CHECK_MSG(trace_->num_executed() == graph_.num_tasks(),
+                 "simulation ended with unexecuted tasks (scheduler lost tasks?)");
+  } else {
+    MP_CHECK_MSG(trace_->num_executed() + fstats_.tasks_abandoned == graph_.num_tasks(),
+                 "fault run lost tasks (neither executed nor abandoned)");
+  }
   MP_CHECK_MSG(sched_->pending_count() == 0, "scheduler still holds tasks");
-  trace_->validate();
+  for (std::size_t wi = 0; wi < platform_.num_workers(); ++wi)
+    MP_ASSERT(!worker_busy_[wi] && pending_[wi].empty());
+  trace_->validate(/*require_all=*/injector_ == nullptr);
 
   SimResult r;
   r.makespan = trace_->makespan();
@@ -270,6 +455,7 @@ SimResult SimEngine::run(const SchedulerFactory& make_scheduler) {
   }
   r.evictions = memory_->eviction_count();
   r.failed_pops = failed_pops_;
+  r.fault = fstats_;
   r.idle_per_node.resize(platform_.num_nodes());
   for (std::size_t mi = 0; mi < platform_.num_nodes(); ++mi)
     r.idle_per_node[mi] = trace_->idle_fraction_node(MemNodeId{mi});

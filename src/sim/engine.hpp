@@ -13,8 +13,10 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "fault/fault_plan.hpp"
 #include "runtime/memory_manager.hpp"
 #include "runtime/perf_model.hpp"
 #include "runtime/scheduler.hpp"
@@ -36,8 +38,11 @@ struct SimConfig {
   /// execution. 0 disables (POP-time-mapping schedulers then pay every
   /// fetch serially); StarPU prefetches a couple of tasks ahead.
   std::size_t pipeline_depth = 1;
-  /// Safety valve for buggy schedulers: abort if the event count explodes.
+  /// Safety valve for buggy schedulers: abort (with a stall diagnostic of
+  /// stuck tasks, per-worker queues and heap sizes) if the count explodes.
   std::size_t max_events = 0;  // 0 = derived from task count
+  /// Fault-injection plan; an empty plan leaves every engine path unchanged.
+  FaultPlan fault;
 };
 
 struct SimResult {
@@ -49,6 +54,9 @@ struct SimResult {
   std::size_t evictions = 0;           // memory-manager capacity evictions
   std::size_t failed_pops = 0;         // pop() calls returning nothing
   std::vector<double> idle_per_node;   // idle fraction per memory node
+  /// Fault-injection outcome (failures_injected, retries, tasks_abandoned,
+  /// workers_lost, degraded); all zero/false on fault-free runs.
+  FaultStats fault;
 };
 
 /// A scheduler factory: the engine owns construction so it can hand the
@@ -68,6 +76,8 @@ class SimEngine : public PrefetchSink {
   [[nodiscard]] const MemoryManager& memory() const;
   [[nodiscard]] const HistoryModel& history() const;
   [[nodiscard]] Scheduler& scheduler();
+  /// Worker liveness after the run (fail-stop losses applied).
+  [[nodiscard]] const WorkerLiveness& liveness() const;
 
   // PrefetchSink (Dmdas-style push-time prefetch).
   void request_prefetch(DataId data, MemNodeId node) override;
@@ -76,7 +86,7 @@ class SimEngine : public PrefetchSink {
   struct Event {
     double time = 0.0;
     std::uint64_t seq = 0;  // FIFO among simultaneous events
-    enum class Kind { TryPop, Complete } kind = Kind::TryPop;
+    enum class Kind { TryPop, Complete, WorkerLoss } kind = Kind::TryPop;
     WorkerId worker;
     TaskId task;
 
@@ -90,6 +100,13 @@ class SimEngine : public PrefetchSink {
   void wake_idle_workers();
   void handle_try_pop(WorkerId w);
   void handle_complete(const Event& e);
+  void handle_worker_loss(const Event& e);
+  /// Marks `t` and its whole descendant closure abandoned (their
+  /// dependencies can never be satisfied once `t` will not execute).
+  void abandon(TaskId t);
+  [[nodiscard]] bool has_live_capable_worker(TaskId t) const;
+  /// Human-readable state dump for the max_events safety valve.
+  [[nodiscard]] std::string stall_diagnostic(std::size_t processed) const;
   /// Charges transfer ops to the link timelines; returns when all complete.
   double charge_transfers(const std::vector<TransferOp>& ops, double start);
   void push_ready(TaskId t);
@@ -125,6 +142,15 @@ class SimEngine : public PrefetchSink {
     double duration = 0.0;  // fixed at pop time (deterministic noise)
   };
 
+  /// The attempt currently executing on a worker (valid iff worker_busy_).
+  /// The trace is recorded only when the attempt *completes successfully*, so
+  /// failed and interrupted attempts never appear as executions.
+  struct RunningAttempt {
+    PendingTask p;
+    double exec_start = 0.0;
+    double stall = 0.0;
+  };
+
   std::vector<double> link_free_at_;     // per memory node
   /// Predicted drain time of a worker's running + pending tasks; exact
   /// because durations are fixed at pop time. Basis of the commute
@@ -140,6 +166,14 @@ class SimEngine : public PrefetchSink {
   std::vector<double> exec_duration_;    // per task (for history recording)
   std::size_t failed_pops_ = 0;
   bool running_ = false;
+
+  // --- fault machinery (inert when cfg_.fault is empty) ---------------------
+  std::unique_ptr<WorkerLiveness> liveness_;
+  std::unique_ptr<FaultInjector> injector_;  // null on fault-free runs
+  FaultStats fstats_;
+  std::vector<std::size_t> attempts_;    // failed attempts so far, per task
+  std::vector<bool> abandoned_;          // per task
+  std::vector<RunningAttempt> attempt_on_;  // per worker
 };
 
 /// Convenience wrapper: build everything, run once, return the result.

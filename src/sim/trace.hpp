@@ -57,8 +57,10 @@ class Trace {
 
   /// Validation: every task executed exactly once, on a capable arch, with
   /// every predecessor finishing before the task starts fetching. Aborts on
-  /// violation; used heavily in tests.
-  void validate() const;
+  /// violation; used heavily in tests. `require_all = false` (degraded fault
+  /// runs) skips the everyone-executed check but still requires each executed
+  /// task's predecessors to have executed first.
+  void validate(bool require_all = true) const;
 
   /// CSV export: one row per segment.
   [[nodiscard]] std::string to_csv() const;

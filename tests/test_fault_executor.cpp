@@ -1,0 +1,181 @@
+// Fault tolerance in the threaded executor: thrown kernels become retries,
+// injected transient failures are retried against the budget, exhausted
+// budgets abandon the descendant closure, and fail-stop worker loss degrades
+// onto the survivors.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "exec/thread_executor.hpp"
+#include "sched/schedulers.hpp"
+#include "test_util.hpp"
+
+namespace mp {
+namespace {
+
+ExecSchedulerFactory by_name(const std::string& name) {
+  return [name](SchedContext ctx) { return make_scheduler_by_name(name, std::move(ctx)); };
+}
+
+TEST(ThreadExecutorFault, ThrownKernelIsRetriedWithoutAPlan) {
+  TaskGraph g;
+  constexpr int kTasks = 20;
+  std::vector<std::atomic<int>> calls(kTasks);
+  const CodeletId cl = g.add_codelet(
+      "flaky", {ArchType::CPU, ArchType::GPU},
+      [&calls](const Task& t, std::span<void* const>) {
+        // First attempt of every task throws; the retry succeeds.
+        if (calls[t.iparams[0]].fetch_add(1) == 0)
+          throw std::runtime_error("transient");
+      });
+  for (int i = 0; i < kTasks; ++i) {
+    const DataId d = g.add_data(8);
+    SubmitOptions o;
+    o.iparams = {i, 0, 0, 0};
+    g.submit(cl, {Access{d, AccessMode::ReadWrite}}, o);
+  }
+  Platform p = test::small_platform(3, 1);
+  PerfDatabase db = test::flat_perf();
+  ThreadExecutor exec(g, p, db);
+  const ExecResult r = exec.run(by_name("multiprio"));
+  EXPECT_EQ(r.tasks_executed, static_cast<std::size_t>(kTasks));
+  EXPECT_EQ(r.fault.failures_injected, static_cast<std::size_t>(kTasks));
+  EXPECT_EQ(r.fault.retries, static_cast<std::size_t>(kTasks));
+  EXPECT_EQ(r.fault.tasks_abandoned, 0u);
+  EXPECT_FALSE(r.fault.degraded);
+  for (auto& c : calls) EXPECT_EQ(c.load(), 2);  // one failure + one success
+}
+
+TEST(ThreadExecutorFault, InjectedTransientFailuresRetryToCompletion) {
+  TaskGraph g;
+  std::atomic<int> runs{0};
+  const CodeletId cl = g.add_codelet(
+      "tick", {ArchType::CPU, ArchType::GPU},
+      [&runs](const Task&, std::span<void* const>) { runs.fetch_add(1); });
+  for (int i = 0; i < 40; ++i) {
+    const DataId d = g.add_data(8);
+    g.submit(cl, {Access{d, AccessMode::ReadWrite}});
+  }
+  Platform p = test::small_platform(2, 1);
+  PerfDatabase db = test::flat_perf();
+  ThreadExecutor exec(g, p, db);
+  ExecConfig cfg;
+  cfg.fault.transient.push_back(TransientFaultSpec{CodeletId{}, 0.4});
+  cfg.fault.retry_budget = 30;
+  const ExecResult r = exec.run(by_name("eager"), cfg);
+  EXPECT_EQ(r.tasks_executed, 40u);
+  EXPECT_GT(r.fault.failures_injected, 0u);
+  EXPECT_EQ(r.fault.retries, r.fault.failures_injected);
+  EXPECT_EQ(r.fault.tasks_abandoned, 0u);
+  // Every attempt runs the kernel; failed attempts discard the result.
+  EXPECT_EQ(runs.load(), 40 + static_cast<int>(r.fault.failures_injected));
+}
+
+TEST(ThreadExecutorFault, ExhaustedBudgetAbandonsDescendants) {
+  // A 3-chain that always throws, plus an independent healthy task.
+  TaskGraph g;
+  std::atomic<int> ok_runs{0};
+  const CodeletId bad = g.add_codelet(
+      "bad", {ArchType::CPU},
+      [](const Task&, std::span<void* const>) { throw std::runtime_error("hw"); });
+  const CodeletId ok = g.add_codelet(
+      "ok", {ArchType::CPU},
+      [&ok_runs](const Task&, std::span<void* const>) { ok_runs.fetch_add(1); });
+  const DataId chain = g.add_data(8);
+  g.submit(bad, {Access{chain, AccessMode::ReadWrite}});
+  g.submit(bad, {Access{chain, AccessMode::ReadWrite}});
+  g.submit(bad, {Access{chain, AccessMode::ReadWrite}});
+  const DataId solo = g.add_data(8);
+  g.submit(ok, {Access{solo, AccessMode::ReadWrite}});
+  Platform p = test::small_platform(2, 0);
+  PerfDatabase db = test::flat_perf();
+  ThreadExecutor exec(g, p, db);
+  ExecConfig cfg;
+  cfg.fault.retry_budget = 2;
+  const ExecResult r = exec.run(by_name("lws"), cfg);
+  EXPECT_EQ(r.tasks_executed, 1u);
+  EXPECT_EQ(r.fault.tasks_abandoned, 3u);  // head + the two chained successors
+  EXPECT_EQ(r.fault.failures_injected, 3u);  // head: 1 try + 2 retries
+  EXPECT_TRUE(r.fault.degraded);
+  EXPECT_EQ(ok_runs.load(), 1);
+}
+
+TEST(ThreadExecutorFault, WorkerLossDegradesOntoSurvivors) {
+  TaskGraph g;
+  std::atomic<int> runs{0};
+  const CodeletId cl = g.add_codelet(
+      "tick", {ArchType::CPU, ArchType::GPU},
+      [&runs](const Task&, std::span<void* const>) { runs.fetch_add(1); });
+  for (int i = 0; i < 30; ++i) {
+    const DataId d = g.add_data(8);
+    g.submit(cl, {Access{d, AccessMode::ReadWrite}});
+  }
+  Platform p = test::small_platform(2, 1);
+  WorkerId gpu_w{};
+  for (const Worker& w : p.workers())
+    if (w.arch == ArchType::GPU) gpu_w = w.id;
+  PerfDatabase db = test::flat_perf();
+
+  for (const char* name : {"multiprio", "eager", "heteroprio"}) {
+    runs.store(0);
+    ThreadExecutor exec(g, p, db);
+    ExecConfig cfg;
+    cfg.fault.worker_losses.push_back(WorkerLossSpec{gpu_w, 0.0});  // dies at start
+    const ExecResult r = exec.run(by_name(name), cfg);
+    EXPECT_EQ(r.tasks_executed, 30u) << name;
+    EXPECT_EQ(runs.load(), 30) << name;
+    EXPECT_EQ(r.fault.workers_lost, 1u) << name;
+    EXPECT_EQ(r.fault.tasks_abandoned, 0u) << name;
+    EXPECT_TRUE(r.fault.degraded) << name;
+    EXPECT_EQ(r.tasks_per_worker[gpu_w.index()], 0u) << name;
+  }
+}
+
+TEST(ThreadExecutorFault, LossOfOnlyCapableWorkerAbandonsOrphans) {
+  TaskGraph g;
+  std::atomic<int> runs{0};
+  const CodeletId gpu_only = g.add_codelet(
+      "gonly", {ArchType::GPU},
+      [&runs](const Task&, std::span<void* const>) { runs.fetch_add(1); });
+  const DataId head = g.add_data(8);
+  g.submit(gpu_only, {Access{head, AccessMode::ReadWrite}});
+  g.submit(gpu_only, {Access{head, AccessMode::ReadWrite}});
+  Platform p = test::small_platform(2, 1);
+  WorkerId gpu_w{};
+  for (const Worker& w : p.workers())
+    if (w.arch == ArchType::GPU) gpu_w = w.id;
+  PerfDatabase db = test::flat_perf();
+  ThreadExecutor exec(g, p, db);
+  ExecConfig cfg;
+  cfg.fault.worker_losses.push_back(WorkerLossSpec{gpu_w, 0.0});
+  const ExecResult r = exec.run(by_name("eager"), cfg);
+  EXPECT_EQ(r.tasks_executed, 0u);
+  EXPECT_EQ(r.fault.tasks_abandoned, 2u);
+  EXPECT_EQ(runs.load(), 0);
+  EXPECT_TRUE(r.fault.degraded);
+}
+
+TEST(ThreadExecutorFault, StragglersSlowButDoNotBreakTheRun) {
+  TaskGraph g;
+  const CodeletId cl = g.add_codelet(
+      "tick", {ArchType::CPU, ArchType::GPU},
+      [](const Task&, std::span<void* const>) {});
+  for (int i = 0; i < 10; ++i) {
+    const DataId d = g.add_data(8);
+    g.submit(cl, {Access{d, AccessMode::ReadWrite}});
+  }
+  Platform p = test::small_platform(2, 0);
+  PerfDatabase db = test::flat_perf();
+  ThreadExecutor exec(g, p, db);
+  ExecConfig cfg;
+  cfg.fault.stragglers.push_back(StragglerSpec{CodeletId{}, 1.0, 2.0});
+  const ExecResult r = exec.run(by_name("random"), cfg);
+  EXPECT_EQ(r.tasks_executed, 10u);
+  EXPECT_EQ(r.fault.stragglers_injected, 10u);
+  EXPECT_FALSE(r.fault.degraded);
+}
+
+}  // namespace
+}  // namespace mp

@@ -65,17 +65,21 @@ inline PerfDatabase flat_perf(double cpu_gflops = 10.0, double gpu_gflops = 100.
   return db;
 }
 
-/// Wires a SchedContext over the pieces (no engine).
+/// Wires a SchedContext over the pieces (no engine). The liveness mask is
+/// wired in so fault tests can kill workers with `liveness.mark_dead(w)`
+/// before calling notify_worker_removed on the policy under test.
 struct ManualContext {
   const TaskGraph& graph;
   const Platform& platform;
   PerfDatabase perf;
   HistoryModel history;
   MemoryManager memory;
+  WorkerLiveness liveness;
   double now = 0.0;
 
   ManualContext(const TaskGraph& g, const Platform& p, PerfDatabase db)
-      : graph(g), platform(p), perf(std::move(db)), history(g, perf), memory(g, p) {}
+      : graph(g), platform(p), perf(std::move(db)), history(g, perf), memory(g, p),
+        liveness(p) {}
 
   [[nodiscard]] SchedContext ctx() {
     SchedContext c;
@@ -84,6 +88,7 @@ struct ManualContext {
     c.perf = &history;
     c.memory = &memory;
     c.now = [this] { return now; };
+    c.liveness = &liveness;
     return c;
   }
 };

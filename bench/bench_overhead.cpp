@@ -7,6 +7,7 @@
 #include "core/multiprio.hpp"
 #include "core/scored_heap.hpp"
 #include "common/rng.hpp"
+#include "obs/observer.hpp"
 #include "sched/schedulers.hpp"
 #include "sim/platform_presets.hpp"
 
@@ -78,11 +79,14 @@ struct SchedWorld {
   }
 };
 
-void bench_policy(benchmark::State& state, const std::string& name) {
+void bench_policy(benchmark::State& state, const std::string& name,
+                  SchedObserver* observer = nullptr) {
   SchedWorld world(4096);
   for (auto _ : state) {
     state.PauseTiming();
-    auto sched = make_scheduler_by_name(name, world.ctx());
+    SchedContext ctx = world.ctx();
+    ctx.observer = observer;
+    auto sched = make_scheduler_by_name(name, std::move(ctx));
     state.ResumeTiming();
     for (TaskId t : world.tasks) sched->push(t);
     std::size_t popped = 0;
@@ -105,6 +109,21 @@ BENCHMARK(BM_PushPopMultiPrio);
 BENCHMARK(BM_PushPopDmdas);
 BENCHMARK(BM_PushPopHeteroPrio);
 BENCHMARK(BM_PushPopEager);
+
+// Observability overhead on the hottest policy. NullSink pays the observer
+// branch plus a virtual no-op record per decision (the upper bound of what
+// a *disabled* sink could ever cost is the observer-absent baseline above);
+// Recording pays event construction, the ring append and metric updates.
+void BM_PushPopMultiPrioNullSink(benchmark::State& state) {
+  NullObserver obs;
+  bench_policy(state, "multiprio", &obs);
+}
+void BM_PushPopMultiPrioRecording(benchmark::State& state) {
+  RecordingObserver obs;
+  bench_policy(state, "multiprio", &obs);
+}
+BENCHMARK(BM_PushPopMultiPrioNullSink);
+BENCHMARK(BM_PushPopMultiPrioRecording);
 
 }  // namespace
 

@@ -1,16 +1,36 @@
-// Post-mortem trace analysis: run one DAG under two schedulers and print
-// where the time went (per-codelet placement, per-node utilization, bound
-// ratios) — the workflow for debugging a scheduling decision.
+// Post-mortem trace analysis: run one DAG under two schedulers with a
+// recording observer attached, print where the time went (per-codelet
+// placement, per-node utilization, bound ratios, scheduler-event rollup)
+// and export the run for visual inspection:
+//
+//   <sched>_trace.csv   executed segments (one row per task)
+//   <sched>_events.csv  scheduler decision events (PUSH/POP/EVICT/...)
+//   <sched>_trace.json  Chrome Trace Event Format
 //
 //   ./examples/trace_report [tiles] [tile_size]
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <string>
 
 #include "apps/dense/dense_builders.hpp"
+#include "obs/export.hpp"
+#include "obs/observer.hpp"
 #include "sched/schedulers.hpp"
 #include "sim/engine.hpp"
 #include "sim/platform_presets.hpp"
 #include "sim/report.hpp"
+
+namespace {
+
+bool write_text(const std::string& path, const std::string& text) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << text;
+  return static_cast<bool>(f);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace mp;
@@ -27,12 +47,31 @@ int main(int argc, char** argv) {
               preset.name.c_str(), graph.num_tasks());
 
   for (const char* sched : {"multiprio", "dmdas"}) {
-    SimEngine engine(graph, preset.platform, preset.perf);
+    RecordingObserver obs;
+    SimConfig cfg;
+    cfg.observer = &obs;
+    SimEngine engine(graph, preset.platform, preset.perf, cfg);
     (void)engine.run([&](SchedContext ctx) {
       return make_scheduler_by_name(sched, std::move(ctx));
     });
-    const TraceReport report(engine.trace(), graph, preset.platform);
+    const TraceReport report(engine.trace(), graph, preset.platform, &obs);
     std::printf("--- %s ---\n%s\n", sched, report.to_string().c_str());
+
+    const std::string base(sched);
+    const std::string trace_csv = base + "_trace.csv";
+    const std::string events_csv = base + "_events.csv";
+    const std::string trace_json = base + "_trace.json";
+    bool ok = write_text(trace_csv, engine.trace().to_csv());
+    ok = write_text(events_csv, obs.events().to_csv()) && ok;
+    ok = write_chrome_trace(trace_json, engine.trace(), graph, preset.platform, &obs) && ok;
+    if (!ok) {
+      std::fprintf(stderr, "failed to write exports for %s\n", sched);
+      return 1;
+    }
+    std::printf("wrote %s, %s and %s — open the .json at https://ui.perfetto.dev\n",
+                trace_csv.c_str(), events_csv.c_str(), trace_json.c_str());
+    std::printf("(or chrome://tracing) to see per-worker timelines, decision\n");
+    std::printf("markers and heap-depth counters.\n\n");
   }
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "obs/observer.hpp"
 
 namespace mp {
 
@@ -12,6 +13,20 @@ MultiPrioScheduler::MultiPrioScheduler(SchedContext ctx, MultiPrioConfig config)
   heaps_.resize(n_nodes);
   ready_count_.assign(n_nodes, 0);
   brw_.assign(n_nodes, 0.0);
+  // Resolve instrument names once; the hot paths then pay one null test.
+  if (MetricsRegistry* mx = ctx_.observer ? ctx_.observer->metrics() : nullptr) {
+    m_stale_discards_ = &mx->counter("multiprio.stale_discards");
+    m_window_scans_ = &mx->counter("multiprio.locality_window_scans");
+    m_window_hits_ = &mx->counter("multiprio.locality_window_hits");
+    m_heap_depth_.resize(n_nodes);
+    for (std::size_t mi = 0; mi < n_nodes; ++mi)
+      m_heap_depth_[mi] = &mx->gauge("multiprio.heap_depth.node" + std::to_string(mi));
+  }
+}
+
+void MultiPrioScheduler::sample_heap_depth(MemNodeId m, double time) {
+  if (m_heap_depth_.empty()) return;
+  m_heap_depth_[m.index()]->sample(time, static_cast<double>(heaps_[m.index()].size()));
 }
 
 void MultiPrioScheduler::push(TaskId t) {
@@ -44,12 +59,26 @@ void MultiPrioScheduler::push(TaskId t) {
       brw_[mi] += d;
       added.emplace_back(m, d);
     }
+
+    if (ctx_.observer != nullptr) {
+      SchedEvent e;
+      e.time = obs_time();
+      e.kind = SchedEventKind::Push;
+      e.task = t;
+      e.node = m;
+      e.gain = gain;
+      e.prio = prio;
+      e.best_remaining_work = brw_[mi];
+      e.heap_depth = static_cast<std::uint32_t>(heaps_[mi].size());
+      ctx_.observer->record(e);
+      sample_heap_depth(m, e.time);
+    }
   }
   MP_CHECK_MSG(inserted_somewhere, "ready task has no executable memory node");
   ++pending_;
 }
 
-bool MultiPrioScheduler::pop_condition(TaskId t, ArchType a) const {
+bool MultiPrioScheduler::pop_condition(TaskId t, ArchType a, double* brw_out) const {
   const auto it = pushed_.find(t);
   MP_ASSERT(it != pushed_.end());
   const ArchType best = it->second.best_arch;
@@ -59,6 +88,7 @@ bool MultiPrioScheduler::pop_condition(TaskId t, ArchType a) const {
   if (cfg_.normalize_brw_by_workers) {
     brw_best /= static_cast<double>(std::max<std::size_t>(1, live_worker_count(ctx_, best)));
   }
+  if (brw_out != nullptr) *brw_out = brw_best;
   // The best workers hold more queued best-affinity work than it would cost
   // this slower worker to run the task: diverting it keeps the DAG moving.
   return brw_best > ctx_.perf->estimate(t, a);
@@ -68,20 +98,22 @@ void MultiPrioScheduler::drop_taken(ScoredHeap& heap) {
   while (auto top = heap.top()) {
     if (!taken_[top->task.index()]) return;
     heap.pop_top();
+    if (m_stale_discards_ != nullptr) m_stale_discards_->inc();
   }
 }
 
-std::optional<TaskId> MultiPrioScheduler::select_candidate(MemNodeId m) {
+std::optional<MultiPrioScheduler::Candidate> MultiPrioScheduler::select_candidate(
+    MemNodeId m) {
   ScoredHeap& heap = heaps_[m.index()];
   drop_taken(heap);
   if (heap.empty()) return std::nullopt;
   const HeapEntry top = *heap.top();
-  if (!cfg_.use_locality) return top.task;
+  if (!cfg_.use_locality) return Candidate{top, 0.0, false};
 
   // Most-local task among the first n entries whose gain score is within ε
   // of the top task's score. Taken duplicates inside the window are skipped
   // (the top itself is known live after drop_taken).
-  TaskId best_task = top.task;
+  HeapEntry best_entry = top;
   double best_local = -1.0;
   std::size_t seen = 0;
   heap.for_top([&](const HeapEntry& e) {
@@ -92,11 +124,12 @@ std::optional<TaskId> MultiPrioScheduler::select_candidate(MemNodeId m) {
     const double local = ls_sdh2(ctx_, m, e.task);
     if (local > best_local) {
       best_local = local;
-      best_task = e.task;
+      best_entry = e;
     }
     return true;
   });
-  return best_task;
+  return Candidate{best_entry, std::max(0.0, best_local),
+                   best_entry.task != top.task};
 }
 
 void MultiPrioScheduler::take(TaskId t, MemNodeId from_node, ArchType taker) {
@@ -126,21 +159,61 @@ std::optional<TaskId> MultiPrioScheduler::pop(WorkerId w) {
   const ArchType a = worker.arch;
 
   for (std::size_t tries = 0; tries <= cfg_.max_tries; ++tries) {
-    const std::optional<TaskId> cand = select_candidate(m);
+    const std::optional<Candidate> cand = select_candidate(m);
     if (!cand) return std::nullopt;
-    if (!cfg_.use_eviction || pop_condition(*cand, a)) {
-      take(*cand, m, a);
-      return cand;
+    const TaskId t = cand->entry.task;
+    double brw_judged = 0.0;
+    if (!cfg_.use_eviction || pop_condition(t, a, &brw_judged)) {
+      take(t, m, a);
+      if (ctx_.observer != nullptr) {
+        if (cfg_.use_locality && m_window_scans_ != nullptr) {
+          m_window_scans_->inc();
+          if (cand->window_pick) m_window_hits_->inc();
+        }
+        SchedEvent e;
+        e.time = obs_time();
+        e.kind = SchedEventKind::Pop;
+        e.task = t;
+        e.worker = w;
+        e.node = m;
+        e.gain = cand->entry.gain;
+        e.prio = cand->entry.prio;
+        e.locality = cand->locality;
+        e.best_remaining_work = brw_[m.index()];
+        e.heap_depth = static_cast<std::uint32_t>(heaps_[m.index()].size());
+        e.attempt = static_cast<std::uint32_t>(tries);
+        ctx_.observer->record(e);
+        sample_heap_depth(m, e.time);
+      }
+      return t;
     }
     // Eviction mechanism: remove the task from this node's heap only; its
     // duplicates in the best architecture's heaps keep it schedulable (the
     // pop_condition is always true there, so the best heap never evicts).
-    MP_ASSERT(a != pushed_.find(*cand)->second.best_arch);
+    MP_ASSERT(a != pushed_.find(t)->second.best_arch);
     ++pop_rejects_;
     ++evictions_;
-    heaps_[m.index()].remove(*cand);
+    heaps_[m.index()].remove(t);
     MP_ASSERT(ready_count_[m.index()] > 0);
     --ready_count_[m.index()];
+    if (ctx_.observer != nullptr) {
+      SchedEvent e;
+      e.time = obs_time();
+      e.kind = SchedEventKind::PopReject;
+      e.task = t;
+      e.worker = w;
+      e.node = m;
+      e.gain = cand->entry.gain;
+      e.prio = cand->entry.prio;
+      e.locality = cand->locality;
+      e.best_remaining_work = brw_judged;  // the backlog the verdict read
+      e.heap_depth = static_cast<std::uint32_t>(heaps_[m.index()].size());
+      e.attempt = static_cast<std::uint32_t>(tries);
+      ctx_.observer->record(e);
+      e.kind = SchedEventKind::Evict;  // same payload, heap-removal view
+      ctx_.observer->record(e);
+      sample_heap_depth(m, e.time);
+    }
   }
   return std::nullopt;
 }

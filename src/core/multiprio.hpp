@@ -22,6 +22,9 @@
 
 namespace mp {
 
+class Counter;
+class Gauge;
+
 struct MultiPrioConfig {
   /// Locality window size (paper: n = 10).
   std::size_t locality_n = 10;
@@ -82,13 +85,22 @@ class MultiPrioScheduler final : public Scheduler {
  private:
   /// pop_condition (Section V-D): true when `a` is the best arch for `t`
   /// (as judged at PUSH), or the best arch's workers are busy enough that
-  /// diverting `t` helps.
-  [[nodiscard]] bool pop_condition(TaskId t, ArchType a) const;
+  /// diverting `t` helps. `brw_out`, when non-null, receives the
+  /// (normalized) best-arch remaining work the verdict compared against
+  /// (0 on the best-arch fast path) — the POP_REJECT event payload.
+  [[nodiscard]] bool pop_condition(TaskId t, ArchType a, double* brw_out = nullptr) const;
+
+  /// A selected candidate with the decision payload the observer reports.
+  struct Candidate {
+    HeapEntry entry;
+    double locality = 0.0;    ///< LS_SDH²(m, task); 0 when locality is off
+    bool window_pick = false; ///< the locality window overrode the heap top
+  };
 
   /// Locality selection (Section V-C): most local candidate among the top-n
   /// entries within ε of the best score; skips already-taken duplicates
   /// (they are removed lazily by the caller beforehand).
-  [[nodiscard]] std::optional<TaskId> select_candidate(MemNodeId m);
+  [[nodiscard]] std::optional<Candidate> select_candidate(MemNodeId m);
 
   /// Drops entries whose task was already taken from another heap.
   void drop_taken(ScoredHeap& heap);
@@ -114,6 +126,14 @@ class MultiPrioScheduler final : public Scheduler {
   std::size_t pending_ = 0;
   std::size_t evictions_ = 0;
   std::size_t pop_rejects_ = 0;
+
+  // --- observability (all null without an attached observer/metrics) -------
+  [[nodiscard]] double obs_time() const { return ctx_.now ? ctx_.now() : 0.0; }
+  void sample_heap_depth(MemNodeId m, double time);
+  Counter* m_stale_discards_ = nullptr;   ///< lazily dropped taken duplicates
+  Counter* m_window_scans_ = nullptr;     ///< pops that ran the locality window
+  Counter* m_window_hits_ = nullptr;      ///< ... where the window changed the pick
+  std::vector<Gauge*> m_heap_depth_;      ///< per-node heap depth over time
 };
 
 }  // namespace mp

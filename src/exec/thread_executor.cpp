@@ -9,6 +9,8 @@
 #include <thread>
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
 
 namespace mp {
 
@@ -64,6 +66,14 @@ ExecResult ThreadExecutor::run(const ExecSchedulerFactory& make_scheduler,
   ctx.now = elapsed;
   ctx.prefetch = nullptr;  // no timed links in real mode
   ctx.liveness = &liveness;
+  ctx.observer = config.observer;
+  // Resolve the pop-latency instrument once; per-pop timing is taken only
+  // when it resolved (no steady_clock reads on the observer-free path).
+  Histogram* pop_latency = nullptr;
+  if (config.observer != nullptr) {
+    if (MetricsRegistry* mx = config.observer->metrics())
+      pop_latency = &mx->histogram("exec.pop_latency_s");
+  }
   std::unique_ptr<Scheduler> sched = make_scheduler(std::move(ctx));
   MP_CHECK(sched != nullptr);
 
@@ -84,6 +94,20 @@ ExecResult ThreadExecutor::run(const ExecSchedulerFactory& make_scheduler,
   std::vector<std::unique_ptr<std::mutex>> commute_mu(graph_.handles().count());
   for (auto& m : commute_mu) m = std::make_unique<std::mutex>();
 
+  // Executor-side event emission; the observers are thread-safe, so no lock
+  // discipline beyond what the call sites already hold.
+  auto emit = [&](SchedEventKind k, TaskId t, WorkerId w) {
+    if (config.observer == nullptr) return;
+    SchedEvent e;
+    e.time = elapsed();
+    e.kind = k;
+    e.task = t;
+    e.worker = w;
+    if (w.valid()) e.node = platform_.worker(w).node;
+    if (t.valid()) e.attempt = static_cast<std::uint32_t>(attempts[t.index()]);
+    config.observer->record(e);
+  };
+
   // Both closures require `mu` to be held by the caller.
   auto abandon = [&](TaskId t) {
     std::vector<TaskId> frontier{t};
@@ -93,6 +117,7 @@ ExecResult ThreadExecutor::run(const ExecSchedulerFactory& make_scheduler,
       if (abandoned_mask[cur.index()]) continue;
       abandoned_mask[cur.index()] = true;
       ++abandoned;
+      emit(SchedEventKind::TaskAbandoned, cur, WorkerId{});
       for (TaskId s : graph_.successors(cur)) frontier.push_back(s);
     }
   };
@@ -112,12 +137,16 @@ ExecResult ThreadExecutor::run(const ExecSchedulerFactory& make_scheduler,
         // first, then the policy rebuilds and surrenders orphans.
         liveness.mark_dead(w);
         ++result.fault.workers_lost;
+        emit(SchedEventKind::WorkerLost, TaskId{}, w);
         for (TaskId t : sched->notify_worker_removed(w)) abandon(t);
         ++state_version;
         cv.notify_all();
         return;
       }
+      const double pop_begin = pop_latency != nullptr ? now_seconds() : 0.0;
       const std::optional<TaskId> popped = sched->pop(w);
+      if (pop_latency != nullptr)
+        pop_latency->observe(std::max(0.0, now_seconds() - pop_begin));
       if (!popped) {
         const std::uint64_t seen = state_version;
         // Timed wait: a buggy policy must not hang the process — the worker
@@ -177,14 +206,19 @@ ExecResult ThreadExecutor::run(const ExecSchedulerFactory& make_scheduler,
       }
 
       lock.lock();
-      if (straggled) ++result.fault.stragglers_injected;
+      if (straggled) {
+        ++result.fault.stragglers_injected;
+        emit(SchedEventKind::FaultStraggler, t, w);
+      }
       if (failed) {
         ++result.fault.failures_injected;
         const std::size_t failures = ++attempts[t.index()];
+        emit(SchedEventKind::FaultFailure, t, w);
         if (failures > retry_budget) {
           abandon(t);
         } else {
           ++result.fault.retries;
+          emit(SchedEventKind::Repush, t, w);
           sched->repush(t);
         }
         ++state_version;
@@ -218,6 +252,7 @@ ExecResult ThreadExecutor::run(const ExecSchedulerFactory& make_scheduler,
     for (WorkerId w : dead_at_start) {
       liveness.mark_dead(w);
       ++result.fault.workers_lost;
+      emit(SchedEventKind::WorkerLost, TaskId{}, w);
       for (TaskId t : sched->notify_worker_removed(w)) abandon(t);
     }
   }

@@ -27,6 +27,12 @@ struct ExecConfig {
   /// down mid-flight. A kernel that throws is converted into a transient
   /// failure and retried against the same budget, plan or no plan.
   FaultPlan fault;
+  /// Decision-event sink shared with the scheduler (wall-clock timestamps).
+  /// The executor adds REPUSH / WORKER_LOST / fault events and, when the
+  /// observer exposes a MetricsRegistry, an "exec.pop_latency_s" histogram.
+  /// Null disables all recording. Not owned; must be thread-safe (the
+  /// provided observers are).
+  SchedObserver* observer = nullptr;
 };
 
 struct ExecResult {

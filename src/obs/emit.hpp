@@ -1,0 +1,34 @@
+// Inline helpers for policies/engines that emit scheduler events.
+//
+// Usage pattern (the null fast path must stay branch-only):
+//
+//   if (obs_enabled(ctx_)) {
+//     SchedEvent e = make_event(ctx_, SchedEventKind::Pop, t);
+//     e.worker = w;
+//     ctx_.observer->record(e);
+//   }
+#pragma once
+
+#include "obs/observer.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace mp {
+
+[[nodiscard]] inline bool obs_enabled(const SchedContext& ctx) {
+  return ctx.observer != nullptr;
+}
+
+[[nodiscard]] inline double obs_now(const SchedContext& ctx) {
+  return ctx.now ? ctx.now() : 0.0;
+}
+
+[[nodiscard]] inline SchedEvent make_event(const SchedContext& ctx, SchedEventKind k,
+                                           TaskId t) {
+  SchedEvent e;
+  e.time = obs_now(ctx);
+  e.kind = k;
+  e.task = t;
+  return e;
+}
+
+}  // namespace mp

@@ -1,0 +1,64 @@
+// Typed scheduler-decision events — the observability layer's vocabulary.
+//
+// Every consequential decision of a policy or engine (heap insertion, pop,
+// pop_condition reject, eviction, retry re-push, fail-stop loss, fault
+// injection, abandonment) is describable as one SchedEvent carrying the
+// decision's payload: the scores that drove it (gain, NOD, LS_SDH²), the
+// ledger state it read (best_remaining_work, heap depth) and when it
+// happened (virtual time in the simulator, wall-clock in the executor).
+// Events are plain values; recording them is the EventLog's job.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.hpp"
+
+namespace mp {
+
+enum class SchedEventKind : std::uint8_t {
+  Push = 0,        ///< task inserted into a policy queue/heap (per node for MultiPrio)
+  Pop,             ///< worker took a task
+  PopReject,       ///< pop_condition refused the candidate for this worker
+  Evict,           ///< task removed from one node's heap (survives elsewhere)
+  Repush,          ///< previously popped task re-enqueued (retry / loss drain)
+  WorkerLost,      ///< fail-stop worker loss took effect
+  FaultFailure,    ///< transient failure fired at the end of an attempt
+  FaultStraggler,  ///< straggler multiplier applied to an attempt
+  TaskAbandoned,   ///< task will never execute (budget exhausted / orphaned)
+};
+
+inline constexpr std::size_t kNumSchedEventKinds = 9;
+
+[[nodiscard]] constexpr const char* event_kind_name(SchedEventKind k) {
+  switch (k) {
+    case SchedEventKind::Push: return "PUSH";
+    case SchedEventKind::Pop: return "POP";
+    case SchedEventKind::PopReject: return "POP_REJECT";
+    case SchedEventKind::Evict: return "EVICT";
+    case SchedEventKind::Repush: return "REPUSH";
+    case SchedEventKind::WorkerLost: return "WORKER_LOST";
+    case SchedEventKind::FaultFailure: return "FAULT_FAILURE";
+    case SchedEventKind::FaultStraggler: return "FAULT_STRAGGLER";
+    case SchedEventKind::TaskAbandoned: return "TASK_ABANDONED";
+  }
+  return "?";
+}
+
+/// One recorded decision. Fields that do not apply to a kind stay at their
+/// defaults (invalid ids, zero scores); consumers key off `kind`.
+struct SchedEvent {
+  double time = 0.0;  ///< seconds — virtual (sim) or wall since run start (exec)
+  SchedEventKind kind = SchedEventKind::Push;
+  TaskId task;
+  WorkerId worker;  ///< popper / loser / push-time mapping target
+  MemNodeId node;   ///< memory node whose queue/heap was touched
+  double gain = 0.0;              ///< score_gain of the entry involved
+  double prio = 0.0;              ///< NOD criticality tiebreak score
+  double locality = 0.0;          ///< LS_SDH² of the chosen candidate
+  double best_remaining_work = 0.0;  ///< brw ledger read/left by the decision
+  std::uint32_t heap_depth = 0;   ///< queue/heap size after the decision
+  std::uint32_t attempt = 0;      ///< POP tries so far / failed attempts so far
+  std::uint64_t seq = 0;          ///< global order, assigned by the EventLog
+};
+
+}  // namespace mp

@@ -15,6 +15,11 @@
 
 namespace mp {
 
+/// Observability hook (src/obs/): typed decision events + metrics. Kept as
+/// a forward declaration so the runtime layer stays link-independent of
+/// mp_obs; policies that emit include obs/observer.hpp themselves.
+class SchedObserver;
+
 /// Engine-provided hook a policy can use to request data prefetch (Dmdas
 /// maps tasks at PUSH time and prefetches their data to the target node).
 class PrefetchSink {
@@ -80,6 +85,10 @@ struct SchedContext {
   PrefetchSink* prefetch = nullptr;
   /// May be null when the engine does not support worker loss (= all alive).
   const WorkerLiveness* liveness = nullptr;
+  /// Decision-event sink. Null (the default) disables observability at the
+  /// cost of one pointer test per decision site — policies must not even
+  /// construct an event when it is null.
+  SchedObserver* observer = nullptr;
 };
 
 /// A scheduling policy. The engine calls push() when a task becomes ready

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "obs/emit.hpp"
 #include "sched/schedulers.hpp"
 
 namespace mp {
@@ -51,6 +52,14 @@ class DmFamilyScheduler final : public Scheduler {
     const TaskId t = q[pick];
     q.erase(q.begin() + static_cast<std::ptrdiff_t>(pick));
     --pending_;
+    if (obs_enabled(ctx_)) {
+      SchedEvent e = make_event(ctx_, SchedEventKind::Pop, t);
+      e.worker = w;
+      e.node = ctx_.platform->worker(w).node;
+      e.attempt = static_cast<std::uint32_t>(pick);  // data-aware window index
+      e.heap_depth = static_cast<std::uint32_t>(q.size());
+      ctx_.observer->record(e);
+    }
     return t;
   }
 
@@ -121,6 +130,15 @@ class DmFamilyScheduler final : public Scheduler {
 
     expected_end_[best_w] = best_fitness;
     insert_sorted(queues_[best_w], t);
+    if (obs_enabled(ctx_)) {
+      SchedEvent e = make_event(ctx_, SchedEventKind::Push, t);
+      e.worker = WorkerId{best_w};
+      e.node = ctx_.platform->worker(WorkerId{best_w}).node;
+      e.prio = static_cast<double>(ctx_.graph->task(t).user_priority);
+      e.best_remaining_work = best_fitness;  // expected completion time
+      e.heap_depth = static_cast<std::uint32_t>(queues_[best_w].size());
+      ctx_.observer->record(e);
+    }
 
     // Push-time mapping enables early data prefetch to the target node —
     // the advantage the paper credits Dmdas with on transfer-bound runs.

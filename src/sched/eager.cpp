@@ -1,6 +1,7 @@
 #include <deque>
 
 #include "common/check.hpp"
+#include "obs/emit.hpp"
 #include "sched/schedulers.hpp"
 
 namespace mp {
@@ -20,6 +21,12 @@ class EagerScheduler final : public Scheduler {
     auto it = queue_.begin();
     while (it != queue_.end() && ctx_.graph->task(*it).user_priority >= prio) ++it;
     queue_.insert(it, t);
+    if (obs_enabled(ctx_)) {
+      SchedEvent e = make_event(ctx_, SchedEventKind::Push, t);
+      e.prio = static_cast<double>(prio);
+      e.heap_depth = static_cast<std::uint32_t>(queue_.size());
+      ctx_.observer->record(e);
+    }
   }
 
   std::optional<TaskId> pop(WorkerId w) override {
@@ -28,6 +35,12 @@ class EagerScheduler final : public Scheduler {
       if (ctx_.graph->can_exec(*it, a)) {
         const TaskId t = *it;
         queue_.erase(it);
+        if (obs_enabled(ctx_)) {
+          SchedEvent e = make_event(ctx_, SchedEventKind::Pop, t);
+          e.worker = w;
+          e.heap_depth = static_cast<std::uint32_t>(queue_.size());
+          ctx_.observer->record(e);
+        }
         return t;
       }
     }

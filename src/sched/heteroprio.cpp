@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "obs/emit.hpp"
 #include "sched/schedulers.hpp"
 
 namespace mp {
@@ -41,6 +42,13 @@ class HeteroPrioScheduler final : public Scheduler {
     }
     const ArchType best = best_arch_for(ctx_, t);
     backlog_[arch_index(best)] += ctx_.perf->estimate(t, best);
+    if (obs_enabled(ctx_)) {
+      SchedEvent e = make_event(ctx_, SchedEventKind::Push, t);
+      e.gain = speedup(c.index());  // type-level speedup after this update
+      e.best_remaining_work = backlog_[arch_index(best)];
+      e.heap_depth = static_cast<std::uint32_t>(buckets_[c.index()].size());
+      ctx_.observer->record(e);
+    }
   }
 
   std::optional<TaskId> pop(WorkerId w) override {
@@ -76,6 +84,15 @@ class HeteroPrioScheduler final : public Scheduler {
       double& b = backlog_[arch_index(best)];
       b -= ctx_.perf->estimate(t, a);  // over-debit on steals throttles them
       if (b < 0.0) b = 0.0;
+      if (obs_enabled(ctx_)) {
+        SchedEvent e = make_event(ctx_, SchedEventKind::Pop, t);
+        e.worker = w;
+        e.node = ctx_.platform->worker(w).node;
+        e.gain = speedup(c);
+        e.best_remaining_work = b;
+        e.heap_depth = static_cast<std::uint32_t>(bucket.size());
+        ctx_.observer->record(e);
+      }
       return t;
     }
     return std::nullopt;

@@ -2,6 +2,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "obs/emit.hpp"
 #include "sched/schedulers.hpp"
 
 namespace mp {
@@ -25,6 +26,13 @@ class LwsScheduler final : public Scheduler {
     if (!worker_alive(ctx_, WorkerId{home})) home = first_live_worker();
     queues_[home].push_back(t);
     ++pending_;
+    if (obs_enabled(ctx_)) {
+      SchedEvent e = make_event(ctx_, SchedEventKind::Push, t);
+      e.worker = WorkerId{home};
+      e.node = ctx_.platform->worker(WorkerId{home}).node;
+      e.heap_depth = static_cast<std::uint32_t>(queues_[home].size());
+      ctx_.observer->record(e);
+    }
   }
 
   std::optional<TaskId> pop(WorkerId w) override {
@@ -32,6 +40,7 @@ class LwsScheduler final : public Scheduler {
     // Local pop: most recently produced task first.
     if (auto t = take(queues_[w.index()], a, /*lifo=*/true)) {
       --pending_;
+      emit_pop(*t, w, /*steal_offset=*/0);
       return t;
     }
     // Steal: ring scan from the next worker, oldest task first.
@@ -40,6 +49,7 @@ class LwsScheduler final : public Scheduler {
       auto& victim = queues_[(w.index() + off) % n];
       if (auto t = take(victim, a, /*lifo=*/false)) {
         --pending_;
+        emit_pop(*t, w, off);
         return t;
       }
     }
@@ -78,6 +88,17 @@ class LwsScheduler final : public Scheduler {
   [[nodiscard]] bool has_work_hint(WorkerId) const override { return pending_ > 0; }
 
  private:
+  /// attempt = ring-scan offset: 0 is a local LIFO pop, >0 a steal.
+  void emit_pop(TaskId t, WorkerId w, std::size_t steal_offset) {
+    if (!obs_enabled(ctx_)) return;
+    SchedEvent e = make_event(ctx_, SchedEventKind::Pop, t);
+    e.worker = w;
+    e.node = ctx_.platform->worker(w).node;
+    e.attempt = static_cast<std::uint32_t>(steal_offset);
+    e.heap_depth = static_cast<std::uint32_t>(queues_[w.index()].size());
+    ctx_.observer->record(e);
+  }
+
   [[nodiscard]] std::size_t first_live_worker() const {
     for (std::size_t wi = 0; wi < queues_.size(); ++wi)
       if (worker_alive(ctx_, WorkerId{wi})) return wi;

@@ -3,6 +3,7 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "obs/emit.hpp"
 #include "sched/schedulers.hpp"
 
 namespace mp {
@@ -28,6 +29,13 @@ class RandomScheduler final : public Scheduler {
         static_cast<std::size_t>(rng_.next_in(0, capable.size() - 1));
     queues_[capable[pick].index()].push_back(t);
     ++pending_;
+    if (obs_enabled(ctx_)) {
+      SchedEvent e = make_event(ctx_, SchedEventKind::Push, t);
+      e.worker = capable[pick];  // push-time assignment target
+      e.node = ctx_.platform->worker(capable[pick]).node;
+      e.heap_depth = static_cast<std::uint32_t>(queues_[capable[pick].index()].size());
+      ctx_.observer->record(e);
+    }
   }
 
   std::optional<TaskId> pop(WorkerId w) override {
@@ -36,6 +44,12 @@ class RandomScheduler final : public Scheduler {
     const TaskId t = q.front();
     q.pop_front();
     --pending_;
+    if (obs_enabled(ctx_)) {
+      SchedEvent e = make_event(ctx_, SchedEventKind::Pop, t);
+      e.worker = w;
+      e.heap_depth = static_cast<std::uint32_t>(q.size());
+      ctx_.observer->record(e);
+    }
     return t;
   }
 

@@ -6,6 +6,7 @@
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "core/multiprio.hpp"
+#include "obs/observer.hpp"
 
 namespace mp {
 
@@ -62,6 +63,19 @@ void SimEngine::request_prefetch(DataId data, MemNodeId node) {
   (void)charge_transfers(ops, now_);
 }
 
+void SimEngine::emit(SchedEventKind kind, TaskId t, WorkerId w) {
+  if (cfg_.observer == nullptr) return;
+  SchedEvent e;
+  e.time = now_;
+  e.kind = kind;
+  e.task = t;
+  e.worker = w;
+  if (w.valid()) e.node = platform_.worker(w).node;
+  if (t.valid() && t.index() < attempts_.size())
+    e.attempt = static_cast<std::uint32_t>(attempts_[t.index()]);
+  cfg_.observer->record(e);
+}
+
 void SimEngine::schedule_try_pop(WorkerId w, double time) {
   if (!liveness_->alive(w)) return;
   if (trypop_pending_[w.index()]) return;
@@ -114,6 +128,7 @@ void SimEngine::abandon(TaskId t) {
     if (abandoned_[cur.index()]) continue;
     abandoned_[cur.index()] = true;
     ++fstats_.tasks_abandoned;
+    emit(SchedEventKind::TaskAbandoned, cur, WorkerId{});
     for (TaskId s : graph_.successors(cur)) frontier.push_back(s);
   }
 }
@@ -162,6 +177,7 @@ bool SimEngine::fill_pending(WorkerId w) {
     if (mult != 1.0) {
       duration *= mult;
       ++fstats_.stragglers_injected;
+      emit(SchedEventKind::FaultStraggler, t, w);
     }
   }
 
@@ -262,10 +278,12 @@ void SimEngine::handle_complete(const Event& e) {
     // re-acquires at its next pop, wherever that lands.
     ++fstats_.failures_injected;
     const std::size_t failures = ++attempts_[e.task.index()];
+    emit(SchedEventKind::FaultFailure, e.task, e.worker);
     if (failures > injector_->retry_budget()) {
       abandon(e.task);
     } else {
       ++fstats_.retries;
+      emit(SchedEventKind::Repush, e.task, e.worker);
       sched_->repush(e.task);
     }
     schedule_try_pop(e.worker, now_);
@@ -296,6 +314,7 @@ void SimEngine::handle_worker_loss(const Event& e) {
   const Worker& worker = platform_.worker(w);
   liveness_->mark_dead(w);
   ++fstats_.workers_lost;
+  emit(SchedEventKind::WorkerLost, TaskId{}, w);
 
   // Drain the interrupted attempt and the pipelined pops. Their pins go
   // before any evacuation; their stale Complete/TryPop events are ignored by
@@ -326,6 +345,7 @@ void SimEngine::handle_worker_loss(const Event& e) {
   for (TaskId t : drained) {
     if (has_live_capable_worker(t)) {
       ++fstats_.retries;
+      emit(SchedEventKind::Repush, t, w);
       sched_->repush(t);
     } else {
       orphans.push_back(t);
@@ -388,6 +408,7 @@ SimResult SimEngine::run(const SchedulerFactory& make_scheduler) {
   ctx.now = [this] { return now_; };
   ctx.prefetch = this;
   ctx.liveness = liveness_.get();
+  ctx.observer = cfg_.observer;
   sched_ = make_scheduler(std::move(ctx));
   MP_CHECK(sched_ != nullptr);
   running_ = true;

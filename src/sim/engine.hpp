@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "fault/fault_plan.hpp"
+#include "obs/events.hpp"
 #include "runtime/memory_manager.hpp"
 #include "runtime/perf_model.hpp"
 #include "runtime/scheduler.hpp"
@@ -43,6 +44,10 @@ struct SimConfig {
   std::size_t max_events = 0;  // 0 = derived from task count
   /// Fault-injection plan; an empty plan leaves every engine path unchanged.
   FaultPlan fault;
+  /// Decision-event sink handed to the scheduler via SchedContext; the engine
+  /// itself adds REPUSH / WORKER_LOST / fault events. Null disables all
+  /// recording (observer-free fast path). Not owned.
+  SchedObserver* observer = nullptr;
 };
 
 struct SimResult {
@@ -96,6 +101,9 @@ class SimEngine : public PrefetchSink {
     }
   };
 
+  /// Engine-side event emission (REPUSH, WORKER_LOST, fault kinds); no-op
+  /// without an observer.
+  void emit(SchedEventKind kind, TaskId t, WorkerId w);
   void schedule_try_pop(WorkerId w, double time);
   void wake_idle_workers();
   void handle_try_pop(WorkerId w);

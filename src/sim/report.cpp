@@ -4,12 +4,13 @@
 #include <map>
 
 #include "common/csv.hpp"
+#include "obs/observer.hpp"
 
 namespace mp {
 
 TraceReport::TraceReport(const Trace& trace, const TaskGraph& graph,
-                         const Platform& platform)
-    : trace_(trace), platform_(platform) {
+                         const Platform& platform, const RecordingObserver* obs)
+    : trace_(trace), platform_(platform), obs_(obs) {
   std::map<std::string, CodeletReport> by_codelet;
   std::map<std::uint32_t, NodeReport> by_node;
 
@@ -87,6 +88,7 @@ std::string TraceReport::to_string() const {
   out += "makespan " + fmt_double(trace_.makespan(), 4) + " s, critical path " +
          fmt_double(critical_path_s_, 4) + " s, bound ratio " +
          fmt_double(efficiency_bound_ratio(), 2) + "\n";
+  if (obs_ != nullptr) out += obs_->rollup();
   return out;
 }
 

@@ -10,6 +10,8 @@
 
 namespace mp {
 
+class RecordingObserver;
+
 /// Aggregated execution statistics for one codelet type.
 struct CodeletReport {
   std::string codelet;
@@ -31,7 +33,10 @@ struct NodeReport {
 
 class TraceReport {
  public:
-  TraceReport(const Trace& trace, const TaskGraph& graph, const Platform& platform);
+  /// `obs`, when given, contributes its scheduler-event rollup and metrics
+  /// to to_string(); the execution statistics never depend on it.
+  TraceReport(const Trace& trace, const TaskGraph& graph, const Platform& platform,
+              const RecordingObserver* obs = nullptr);
 
   [[nodiscard]] const std::vector<CodeletReport>& codelets() const { return codelets_; }
   [[nodiscard]] const std::vector<NodeReport>& nodes() const { return nodes_; }
@@ -53,6 +58,7 @@ class TraceReport {
  private:
   const Trace& trace_;
   const Platform& platform_;
+  const RecordingObserver* obs_ = nullptr;
   std::vector<CodeletReport> codelets_;
   std::vector<NodeReport> nodes_;
   double busy_total_[kNumArchTypes] = {0.0, 0.0};

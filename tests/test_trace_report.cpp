@@ -1,0 +1,97 @@
+// Trace / TraceReport analytics on a hand-built trace whose every quantity
+// is computable by hand: a 4-task diamond executed on 1 CPU + 1 GPU.
+#include <gtest/gtest.h>
+
+#include "obs/observer.hpp"
+#include "sim/report.hpp"
+#include "sim/trace.hpp"
+#include "test_util.hpp"
+
+namespace mp {
+namespace {
+
+/// Diamond DAG t0 → {t1, t2} → t3 on a 1-CPU + 1-GPU platform, with a
+/// hand-written schedule:
+///
+///   worker 0 (CPU, node 0): t0 [0,2)             t3 [5,7)
+///   worker 1 (GPU, node 1):        t1 [2,4)  t2 [4,5)  (t2 stalled 0.5)
+///
+/// makespan 7; busy: CPU 4s, GPU 3s.
+struct HandTrace {
+  test::EdgeGraph eg{4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}}, 1e6};
+  Platform platform = test::small_platform(1, 1);
+  Trace trace{eg.graph, platform};
+  WorkerId cpu{std::size_t{0}};
+  WorkerId gpu{std::size_t{1}};
+  MemNodeId ram{std::size_t{0}};
+  MemNodeId vram{std::size_t{1}};
+
+  HandTrace() {
+    trace.record(TraceSegment{eg.tasks[0], cpu, 0.0, 0.0, 2.0, 0.0});
+    trace.record(TraceSegment{eg.tasks[1], gpu, 2.0, 2.0, 4.0, 0.0});
+    trace.record(TraceSegment{eg.tasks[2], gpu, 3.5, 4.0, 5.0, 0.5});
+    trace.record(TraceSegment{eg.tasks[3], cpu, 5.0, 5.0, 7.0, 0.0});
+  }
+};
+
+TEST(TraceReport, MakespanBusyAndIdleFractions) {
+  HandTrace h;
+  EXPECT_DOUBLE_EQ(h.trace.makespan(), 7.0);
+  EXPECT_EQ(h.trace.num_executed(), 4u);
+  EXPECT_DOUBLE_EQ(h.trace.busy_time(h.cpu), 4.0);
+  EXPECT_DOUBLE_EQ(h.trace.busy_time(h.gpu), 3.0);
+  // Node 0 holds only the CPU worker, node 1 only the GPU worker.
+  EXPECT_DOUBLE_EQ(h.trace.idle_fraction_node(h.ram), 1.0 - 4.0 / 7.0);
+  EXPECT_DOUBLE_EQ(h.trace.idle_fraction_node(h.vram), 1.0 - 3.0 / 7.0);
+  EXPECT_DOUBLE_EQ(h.trace.total_fetch_stall(), 0.5);
+  h.trace.validate();  // hand schedule respects the diamond's dependencies
+}
+
+TEST(TraceReport, WorkShareSplitsBusySecondsByArch) {
+  HandTrace h;
+  const TraceReport report(h.trace, h.eg.graph, h.platform);
+  EXPECT_DOUBLE_EQ(report.work_share(ArchType::CPU), 4.0 / 7.0);
+  EXPECT_DOUBLE_EQ(report.work_share(ArchType::GPU), 3.0 / 7.0);
+}
+
+TEST(TraceReport, PracticalCriticalPathWalksLastFinishingChain) {
+  HandTrace h;
+  // Last finisher is t3; its last-finishing predecessor is t2 (ends 5.0),
+  // whose predecessor is t0. Chain in execution order: t0, t2, t3.
+  const std::vector<TaskId> path = h.trace.practical_critical_path();
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0], h.eg.tasks[0]);
+  EXPECT_EQ(path[1], h.eg.tasks[2]);
+  EXPECT_EQ(path[2], h.eg.tasks[3]);
+  // Critical path seconds = 2 (t0) + 1 (t2) + 2 (t3) = 5.
+  const TraceReport report(h.trace, h.eg.graph, h.platform);
+  EXPECT_DOUBLE_EQ(report.critical_path_seconds(), 5.0);
+}
+
+TEST(TraceReport, EfficiencyBoundRatioUsesTheTighterBound) {
+  HandTrace h;
+  const TraceReport report(h.trace, h.eg.graph, h.platform);
+  // Work bound = total busy / workers = 7/2 = 3.5 < critical path 5, so the
+  // bound is the critical path and the ratio is makespan / 5.
+  EXPECT_DOUBLE_EQ(report.efficiency_bound_ratio(), 7.0 / 5.0);
+}
+
+TEST(TraceReport, ToStringCarriesTablesAndObserverRollup) {
+  HandTrace h;
+  const TraceReport plain(h.trace, h.eg.graph, h.platform);
+  const std::string s = plain.to_string();
+  EXPECT_NE(s.find("makespan"), std::string::npos);
+  EXPECT_NE(s.find("work"), std::string::npos);  // the codelet name
+
+  RecordingObserver obs;
+  SchedEvent e;
+  e.kind = SchedEventKind::Evict;
+  obs.record(e);
+  const TraceReport with_obs(h.trace, h.eg.graph, h.platform, &obs);
+  const std::string s2 = with_obs.to_string();
+  EXPECT_NE(s2.find("EVICT"), std::string::npos);
+  EXPECT_GT(s2.size(), s.size());
+}
+
+}  // namespace
+}  // namespace mp

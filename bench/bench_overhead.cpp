@@ -4,9 +4,13 @@
 // HeteroPrio is quantified here.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+
 #include "core/multiprio.hpp"
 #include "core/scored_heap.hpp"
 #include "common/rng.hpp"
+#include "obs/bench_json.hpp"
 #include "obs/observer.hpp"
 #include "sched/schedulers.hpp"
 #include "sim/platform_presets.hpp"
@@ -125,6 +129,69 @@ void BM_PushPopMultiPrioRecording(benchmark::State& state) {
 BENCHMARK(BM_PushPopMultiPrioNullSink);
 BENCHMARK(BM_PushPopMultiPrioRecording);
 
+// Machine-readable observer-overhead summary, emitted as
+// BENCH_overhead.json so CI accumulates the instrumentation cost over time.
+// Timed directly (std::chrono around the same push/pop loop the
+// google-benchmark cases run) so the emission does not depend on any
+// particular google-benchmark reporter API.
+void emit_overhead_json() {
+  struct Mode {
+    const char* name;
+    SchedObserver* observer;
+  };
+  NullObserver null_obs;
+  RecordingObserver rec_obs;
+  const Mode modes[] = {{"none", nullptr}, {"null", &null_obs}, {"recording", &rec_obs}};
+
+  constexpr std::size_t kTasks = 4096;
+  constexpr int kReps = 5;
+  std::vector<BenchRecord> records;
+  double baseline_s = 0.0;
+  for (const Mode& mode : modes) {
+    SchedWorld world(kTasks);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int rep = 0; rep < kReps; ++rep) {
+      SchedContext ctx = world.ctx();
+      ctx.observer = mode.observer;
+      auto sched = make_scheduler_by_name("multiprio", std::move(ctx));
+      for (TaskId t : world.tasks) sched->push(t);
+      std::size_t popped = 0;
+      std::size_t wi = 0;
+      const std::size_t nw = world.preset.platform.num_workers();
+      while (popped < world.tasks.size()) {
+        if (sched->pop(WorkerId{wi}).has_value()) ++popped;
+        wi = (wi + 1) % nw;
+      }
+    }
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    if (mode.observer == nullptr) baseline_s = elapsed;
+    // "efficiency" = baseline/mode: 1.0 for the observer-free path, and the
+    // slowdown factor's reciprocal for the instrumented ones — the ratio a
+    // regression check watches.
+    BenchRecord rec =
+        BenchRecord("overhead", "multiprio")
+            .param("observer", mode.name)
+            .param("tasks", kTasks)
+            .param("reps", static_cast<std::size_t>(kReps))
+            .makespan_s(elapsed)
+            .efficiency(elapsed > 0.0 && baseline_s > 0.0 ? baseline_s / elapsed : 0.0)
+            .extra("ns_per_task",
+                   elapsed / static_cast<double>(kTasks * kReps) * 1e9);
+    if (mode.observer == &rec_obs) rec.events_from(rec_obs.events());
+    records.push_back(rec);
+  }
+  if (!write_bench_json("BENCH_overhead.json", records))
+    std::fprintf(stderr, "warning: could not write BENCH_overhead.json\n");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emit_overhead_json();
+  return 0;
+}

@@ -11,13 +11,15 @@
 
 namespace mp::bench {
 
-/// --full on the command line switches from the quick default configuration
-/// to the paper-scale sweep.
-inline bool full_mode(int argc, char** argv) {
+inline bool has_flag(int argc, char** argv, const char* flag) {
   for (int i = 1; i < argc; ++i)
-    if (std::strcmp(argv[i], "--full") == 0) return true;
+    if (std::strcmp(argv[i], flag) == 0) return true;
   return false;
 }
+
+/// --full on the command line switches from the quick default configuration
+/// to the paper-scale sweep.
+inline bool full_mode(int argc, char** argv) { return has_flag(argc, argv, "--full"); }
 
 inline SchedulerFactory factory(const std::string& name) {
   return [name](SchedContext ctx) { return make_scheduler_by_name(name, std::move(ctx)); };

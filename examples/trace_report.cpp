@@ -14,6 +14,7 @@
 #include <string>
 
 #include "apps/dense/dense_builders.hpp"
+#include "obs/analysis.hpp"
 #include "obs/export.hpp"
 #include "obs/observer.hpp"
 #include "sched/schedulers.hpp"
@@ -56,6 +57,9 @@ int main(int argc, char** argv) {
     });
     const TraceReport report(engine.trace(), graph, preset.platform, &obs);
     std::printf("--- %s ---\n%s\n", sched, report.to_string().c_str());
+    const RunAnalysis analysis(engine.trace(), graph, preset.platform, preset.perf,
+                               &obs, engine.predicted_durations());
+    std::printf("%s\n", analysis.to_string().c_str());
 
     const std::string base(sched);
     const std::string trace_csv = base + "_trace.csv";

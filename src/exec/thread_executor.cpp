@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <limits>
 #include <mutex>
@@ -69,11 +70,12 @@ ExecResult ThreadExecutor::run(const ExecSchedulerFactory& make_scheduler,
   ctx.observer = config.observer;
   // Resolve the pop-latency instrument once; per-pop timing is taken only
   // when it resolved (no steady_clock reads on the observer-free path).
-  Histogram* pop_latency = nullptr;
-  if (config.observer != nullptr) {
-    if (MetricsRegistry* mx = config.observer->metrics())
-      pop_latency = &mx->histogram("exec.pop_latency_s");
-  }
+  // The registry itself is kept around for the per-(codelet, arch) model
+  // audit, whose instrument names are only known per task.
+  MetricsRegistry* metrics =
+      config.observer != nullptr ? config.observer->metrics() : nullptr;
+  Histogram* pop_latency =
+      metrics != nullptr ? &metrics->histogram("exec.pop_latency_s") : nullptr;
   std::unique_ptr<Scheduler> sched = make_scheduler(std::move(ctx));
   MP_CHECK(sched != nullptr);
 
@@ -159,6 +161,9 @@ ExecResult ThreadExecutor::run(const ExecSchedulerFactory& make_scheduler,
       const TaskId t = *popped;
       MP_CHECK_MSG(!executed[t.index()], "task popped twice");
       const std::size_t attempt = attempts[t.index()];
+      // Pop-time δ(t,a) for the model audit — read under the lock, before
+      // this task's own completion re-trains the history model.
+      const double predicted = metrics != nullptr ? history.estimate(t, arch) : 0.0;
       // Keep logical data placement in sync so locality heuristics see the
       // same world as in simulation (transfers are free functionally).
       std::vector<TransferOp> ops;
@@ -227,6 +232,16 @@ ExecResult ThreadExecutor::run(const ExecSchedulerFactory& make_scheduler,
       }
       executed[t.index()] = true;
       history.record(t, arch, dur);
+      if (metrics != nullptr) {
+        // Same instruments as the simulator, so RunAnalysis-style audits read
+        // identically off either engine. dur is clamped ≥ 1e-9 above.
+        const std::string suffix =
+            graph_.codelet_of(t).name + "." + arch_name(arch);
+        metrics->histogram("perf_model.abs_err_s." + suffix)
+            .observe(std::abs(predicted - dur));
+        metrics->histogram("perf_model.rel_err." + suffix)
+            .observe(std::abs(predicted - dur) / dur);
+      }
       ++result.tasks_per_worker[w.index()];
       sched->on_task_end(t, w);
       std::vector<TaskId> newly;

@@ -1,0 +1,67 @@
+// Machine-readable bench output: BENCH_<name>.json, one JSON array of
+// records with the fixed schema
+//
+//   { "bench": "fig5_dense", "scheduler": "multiprio",
+//     "params": {"kernel": "getrf", "n": 20480, ...},
+//     "makespan_s": 1.234, "efficiency": 0.87,        // vs the area bound
+//     "gflops": 5678.0,                                // optional extras
+//     "events": {"PUSH": 100, ..., "dropped": 0} }
+//
+// The fig benches emit these next to their ASCII tables; CI uploads them as
+// artifacts and the bench-smoke job gates on the efficiency field, so the
+// perf trajectory of the repo accumulates run over run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/observer.hpp"
+
+namespace mp {
+
+/// One benchmark measurement. Values are stored pre-rendered as JSON
+/// fragments (param() quotes strings, formats numbers), keeping insertion
+/// order so emitted files diff cleanly run over run.
+class BenchRecord {
+ public:
+  BenchRecord(std::string bench, std::string scheduler)
+      : bench_(std::move(bench)), scheduler_(std::move(scheduler)) {}
+
+  BenchRecord& param(const std::string& name, const std::string& value);
+  BenchRecord& param(const std::string& name, const char* value);
+  BenchRecord& param(const std::string& name, double value);
+  BenchRecord& param(const std::string& name, std::size_t value);
+
+  BenchRecord& makespan_s(double v) { makespan_s_ = v; return *this; }
+  BenchRecord& efficiency(double v) { efficiency_ = v; return *this; }
+  /// Extra top-level numeric field (gflops, total_idle_s, ...).
+  BenchRecord& extra(const std::string& name, double value);
+
+  /// Per-kind event totals + drop count from a run's observer (drop-proof
+  /// counts, so they are exact even when the ring truncated).
+  BenchRecord& events_from(const EventLog& log);
+
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::string bench_;
+  std::string scheduler_;
+  std::vector<std::pair<std::string, std::string>> params_;  // value = JSON fragment
+  double makespan_s_ = 0.0;
+  double efficiency_ = 0.0;
+  std::vector<std::pair<std::string, std::string>> extra_;
+  std::vector<std::pair<std::string, std::uint64_t>> events_;
+};
+
+/// Renders the records as one JSON array (stable field order, "\n"-separated
+/// records — diffable).
+[[nodiscard]] std::string bench_records_json(const std::vector<BenchRecord>& records);
+
+/// Writes bench_records_json to `path` (convention: BENCH_<name>.json at the
+/// invoking directory — repo root in CI); false on I/O failure.
+[[nodiscard]] bool write_bench_json(const std::string& path,
+                                    const std::vector<BenchRecord>& records);
+
+}  // namespace mp

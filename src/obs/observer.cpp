@@ -67,7 +67,29 @@ std::string EventLog::to_csv() const {
                fmt_double(e.best_remaining_work, 9), std::to_string(e.heap_depth),
                std::to_string(e.attempt)});
   }
-  return t.to_csv();
+  // Footer: the drop-proof totals. The rows above are only the *retained*
+  // window of the ring; the footer states exactly how much is missing and
+  // the true per-kind counts, so downstream tooling never mistakes a
+  // truncated log for a complete one.
+  std::ostringstream os;
+  os << t.to_csv();
+  std::uint64_t recorded_total = 0;
+  std::size_t retained = 0, dropped_total = 0;
+  std::array<std::uint64_t, kNumSchedEventKinds> counts{};
+  {
+    std::lock_guard lock(mu_);
+    recorded_total = next_seq_;
+    retained = ring_.size();
+    dropped_total = dropped_;
+    counts = counts_;
+  }
+  os << "# recorded=" << recorded_total << " retained=" << retained
+     << " dropped=" << dropped_total << "\n# totals:";
+  for (std::size_t k = 0; k < kNumSchedEventKinds; ++k)
+    os << ' ' << event_kind_name(static_cast<SchedEventKind>(k)) << '='
+       << counts[k];
+  os << '\n';
+  return os.str();
 }
 
 std::string RecordingObserver::rollup() const {

@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "common/check.hpp"
@@ -22,6 +23,7 @@ SimEngine::SimEngine(const TaskGraph& graph, const Platform& platform,
   trypop_pending_.assign(platform.num_workers(), false);
   exec_end_.assign(graph.num_tasks(), 0.0);
   exec_duration_.assign(graph.num_tasks(), 0.0);
+  predicted_.assign(graph.num_tasks(), 0.0);
   attempts_.assign(graph.num_tasks(), 0);
   abandoned_.assign(graph.num_tasks(), false);
   attempt_on_.resize(platform.num_workers());
@@ -162,6 +164,9 @@ bool SimEngine::fill_pending(WorkerId w) {
   const TaskId t = *popped;
   const Worker& worker = platform_.worker(w);
   MP_CHECK_MSG(graph_.can_exec(t, worker.arch), "scheduler mapped task to wrong arch");
+  // The δ the scheduler believed when it committed this placement — captured
+  // now, because completions keep re-training the history model.
+  predicted_[t.index()] = history_->estimate(t, worker.arch);
   std::vector<TransferOp> ops;
   memory_->acquire_for_task(t, worker.node, ops);
   const double ready = charge_transfers(ops, now_);
@@ -294,6 +299,19 @@ void SimEngine::handle_complete(const Event& e) {
   // Feed the history model with the measured duration (includes noise and
   // straggler slowdown), as StarPU's calibration does.
   history_->record(e.task, worker.arch, std::max(1e-12, run.p.duration));
+  // Model audit: pop-time prediction vs realized duration, bucketed per
+  // (codelet, arch) so the report can call out which δ(t,a) entries lied.
+  if (cfg_.observer != nullptr) {
+    if (MetricsRegistry* mx = cfg_.observer->metrics()) {
+      const double pred = predicted_[e.task.index()];
+      const double obs = run.p.duration;
+      const std::string suffix =
+          graph_.codelet_of(e.task).name + "." + arch_name(worker.arch);
+      mx->histogram("perf_model.abs_err_s." + suffix).observe(std::abs(pred - obs));
+      if (obs > 0.0)
+        mx->histogram("perf_model.rel_err." + suffix).observe(std::abs(pred - obs) / obs);
+    }
+  }
   trace_->record(TraceSegment{e.task, e.worker, run.p.popped_at, run.exec_start,
                               e.time, run.stall});
 

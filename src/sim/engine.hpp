@@ -13,6 +13,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -83,6 +84,13 @@ class SimEngine : public PrefetchSink {
   [[nodiscard]] Scheduler& scheduler();
   /// Worker liveness after the run (fail-stop losses applied).
   [[nodiscard]] const WorkerLiveness& liveness() const;
+  /// Pop-time δ(t, executed arch) per task: what the scheduler believed when
+  /// it committed each placement (0 for never-executed tasks). Captured
+  /// before the completion feeds the history model, so it is the honest
+  /// input to RunAnalysis's perf-model audit.
+  [[nodiscard]] std::span<const double> predicted_durations() const {
+    return predicted_;
+  }
 
   // PrefetchSink (Dmdas-style push-time prefetch).
   void request_prefetch(DataId data, MemNodeId node) override;
@@ -172,6 +180,7 @@ class SimEngine : public PrefetchSink {
   std::size_t wake_rotor_ = 0;           // rotating wake order start
   std::vector<double> exec_end_;         // per task
   std::vector<double> exec_duration_;    // per task (for history recording)
+  std::vector<double> predicted_;        // per task, δ(t, arch) at pop time
   std::size_t failed_pops_ = 0;
   bool running_ = false;
 

@@ -276,11 +276,16 @@ TEST(ObsExec, ExecutorRecordsEventsAndPopLatency) {
     EXPECT_GE(e.time, 0.0);
     EXPECT_LE(e.time, r.wall_seconds + 1e-3);
   }
-  // Every sched->pop call (successful or empty) was timed.
-  const auto hists = obs.metrics_registry().histograms();
-  ASSERT_EQ(hists.size(), 1u);
-  EXPECT_EQ(hists[0].first, "exec.pop_latency_s");
-  EXPECT_GE(hists[0].second->count(), cells.size());
+  // Every sched->pop call (successful or empty) was timed, and every
+  // completion fed the per-(codelet, arch) model-audit histograms.
+  std::uint64_t pop_timed = 0, audit_samples = 0;
+  for (const auto& [name, hist] : obs.metrics_registry().histograms()) {
+    if (name == "exec.pop_latency_s") pop_timed = hist->count();
+    if (name.rfind("perf_model.abs_err_s.inc.", 0) == 0)
+      audit_samples += hist->count();
+  }
+  EXPECT_GE(pop_timed, cells.size());
+  EXPECT_EQ(audit_samples, cells.size());
 }
 
 // --- Chrome trace export -----------------------------------------------------

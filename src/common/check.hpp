@@ -4,18 +4,35 @@
 // out in NDEBUG builds (used on hot paths). Both print the failed expression
 // and location, then abort — scheduling bugs must fail loudly, not corrupt
 // a simulation silently.
+//
+// Under MP_VERIFY, failures inside a managed thread of an active
+// interleaving exploration are rerouted to mp::verify::check_fail_hook,
+// which records the violation together with the full schedule trace and
+// unwinds the exploration instead of killing the process — every MP_CHECK
+// in the codebase doubles as an oracle for the explorer.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 
+#ifdef MP_VERIFY
+namespace mp::verify {
+[[noreturn]] void check_fail_hook(const char* expr, const char* file, int line,
+                                  const char* msg);
+}  // namespace mp::verify
+#endif
+
 namespace mp {
 
 [[noreturn]] inline void check_fail(const char* expr, const char* file, int line,
                                     const char* msg) {
+#ifdef MP_VERIFY
+  ::mp::verify::check_fail_hook(expr, file, line, msg);
+#else
   std::fprintf(stderr, "MP_CHECK failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
                msg != nullptr ? msg : "");
   std::abort();
+#endif
 }
 
 }  // namespace mp
@@ -31,7 +48,10 @@ namespace mp {
   } while (0)
 
 #ifdef NDEBUG
-#define MP_ASSERT(expr) ((void)0)
+// sizeof keeps the expression type-checked (and its operands "used", so an
+// assert-only local does not trip -Werror=unused-variable) without
+// evaluating it at runtime.
+#define MP_ASSERT(expr) ((void)sizeof(expr))
 #else
 #define MP_ASSERT(expr) MP_CHECK(expr)
 #endif

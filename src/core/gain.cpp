@@ -8,7 +8,7 @@ namespace mp {
 
 double GainTracker::gain(const SchedContext& ctx, TaskId t, ArchType a) {
   const std::vector<ArchType> archs = enabled_archs(ctx, t);
-  MP_ASSERT(!archs.empty());
+  MP_CHECK_MSG(!archs.empty(), "gain of a task no architecture can execute");
   if (archs.size() == 1) return 1.0;  // only one arch can run the task
 
   const ArchType first = best_arch_for(ctx, t);

@@ -1,9 +1,13 @@
 #include "core/multiprio.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <sstream>
 
 #include "common/check.hpp"
 #include "obs/observer.hpp"
+#include "verify/mutation.hpp"
+#include "verify/sync.hpp"
 
 namespace mp {
 
@@ -30,6 +34,7 @@ void MultiPrioScheduler::sample_heap_depth(MemNodeId m, double time) {
 }
 
 void MultiPrioScheduler::push(TaskId t) {
+  verify_point("multiprio.push", this);
   if (taken_.size() <= t.index()) taken_.resize(t.index() + 1, false);
   MP_ASSERT(!taken_[t.index()]);
 
@@ -52,6 +57,7 @@ void MultiPrioScheduler::push(TaskId t) {
     const double prio = cfg_.use_nod ? nod_.normalized(ctx_, t, m) : 0.0;
     heaps_[mi].insert(t, gain, prio);
     ++ready_count_[mi];
+    rec.nodes.push_back(m);
     inserted_somewhere = true;
 
     if (a == best) {  // normalized_speedup(t,a) == 1
@@ -80,7 +86,9 @@ void MultiPrioScheduler::push(TaskId t) {
 
 bool MultiPrioScheduler::pop_condition(TaskId t, ArchType a, double* brw_out) const {
   const auto it = pushed_.find(t);
-  MP_ASSERT(it != pushed_.end());
+  // Always-on: under the skipped-lock mutation a racing worker may have
+  // taken `t` between candidate selection and this judgement.
+  MP_CHECK_MSG(it != pushed_.end(), "pop_condition on a task with no push record");
   const ArchType best = it->second.best_arch;
   if (a == best) return true;
   double brw_best = 0.0;
@@ -133,27 +141,47 @@ std::optional<MultiPrioScheduler::Candidate> MultiPrioScheduler::select_candidat
 }
 
 void MultiPrioScheduler::take(TaskId t, MemNodeId from_node, ArchType taker) {
+  verify_point("multiprio.take", this);
   taken_[t.index()] = true;
-  heaps_[from_node.index()].remove(t);
-  MP_ASSERT(ready_count_[from_node.index()] > 0);
-  --ready_count_[from_node.index()];
+  // Always-on (not MP_ASSERT): under the skipped-lock mutation a racing
+  // worker can have taken `t` while this one sat at the yield point above;
+  // proceeding on the end iterator would be UB before any probe could fire.
+  auto it = pushed_.find(t);
+  MP_CHECK_MSG(it != pushed_.end(), "take of a task with no push record");
+  // The entry on from_node leaves now; duplicates on the record's other
+  // nodes stay in their heaps as lazy stale entries (drop_taken sweeps
+  // them), but they stop being *ready* work right here — retire the whole
+  // record's ready counts in one go.
+  for (MemNodeId m : it->second.nodes) {
+    MP_ASSERT(ready_count_[m.index()] > 0);
+    --ready_count_[m.index()];
+  }
   // Algorithm 2 debits best_remaining_work by δ(t, w_a) — the *taking*
   // worker's time. For a best-arch pop this reverses the PUSH credit; for a
   // diversion it debits more, throttling cascades of slow-worker steals.
-  auto it = pushed_.find(t);
-  MP_ASSERT(it != pushed_.end());
+  // Seeded mutation SkipBrwDecrement leaves the ledger uncorrected — the
+  // explorer's brw upper-bound invariant must flag it (constant-false
+  // outside MP_VERIFY builds).
   const bool diverted = taker != it->second.best_arch;
   const double debit = diverted ? ctx_.perf->estimate(t, taker) : 0.0;
-  for (const auto& [m, credited] : it->second.brw_added) {
-    brw_[m.index()] -= diverted ? std::max(debit, credited) : credited;
-    if (brw_[m.index()] < 0.0) brw_[m.index()] = 0.0;
+  if (!verify::mutation_active(verify::Mutation::SkipBrwDecrement)) {
+    for (const auto& [m, credited] : it->second.brw_added) {
+      brw_[m.index()] -= diverted ? std::max(debit, credited) : credited;
+      if (brw_[m.index()] < 0.0) brw_[m.index()] = 0.0;
+    }
   }
   pushed_.erase(it);
   MP_ASSERT(pending_ > 0);
   --pending_;
+  // Last: ScoredHeap::remove has a yield point, so no iterator or reference
+  // into pushed_/heaps_ may be live across it (the mutated runs interleave
+  // here). A racing taker having swept the stale entry trips remove's own
+  // always-on presence check — which is the oracle doing its job.
+  heaps_[from_node.index()].remove(t);
 }
 
 std::optional<TaskId> MultiPrioScheduler::pop(WorkerId w) {
+  verify_point("multiprio.pop", this);
   const Worker& worker = ctx_.platform->worker(w);
   const MemNodeId m = worker.node;
   const ArchType a = worker.arch;
@@ -162,6 +190,7 @@ std::optional<TaskId> MultiPrioScheduler::pop(WorkerId w) {
     const std::optional<Candidate> cand = select_candidate(m);
     if (!cand) return std::nullopt;
     const TaskId t = cand->entry.task;
+    verify_point("multiprio.pop.candidate", this);
     double brw_judged = 0.0;
     if (!cfg_.use_eviction || pop_condition(t, a, &brw_judged)) {
       take(t, m, a);
@@ -190,12 +219,21 @@ std::optional<TaskId> MultiPrioScheduler::pop(WorkerId w) {
     // Eviction mechanism: remove the task from this node's heap only; its
     // duplicates in the best architecture's heaps keep it schedulable (the
     // pop_condition is always true there, so the best heap never evicts).
-    MP_ASSERT(a != pushed_.find(t)->second.best_arch);
+    auto rec_it = pushed_.find(t);
+    MP_CHECK_MSG(rec_it != pushed_.end(), "evicting a task with no push record");
+    MP_ASSERT(a != rec_it->second.best_arch);
     ++pop_rejects_;
     ++evictions_;
-    heaps_[m.index()].remove(t);
+    auto& rec_nodes = rec_it->second.nodes;
+    const auto node_it = std::find(rec_nodes.begin(), rec_nodes.end(), m);
+    MP_CHECK_MSG(node_it != rec_nodes.end(),
+                 "evicting an entry this node does not hold");
+    rec_nodes.erase(node_it);
     MP_ASSERT(ready_count_[m.index()] > 0);
     --ready_count_[m.index()];
+    // Heap removal last: ScoredHeap::remove yields, so rec_it/rec_nodes must
+    // not be live across it (see take()).
+    heaps_[m.index()].remove(t);
     if (ctx_.observer != nullptr) {
       SchedEvent e;
       e.time = obs_time();
@@ -219,23 +257,23 @@ std::optional<TaskId> MultiPrioScheduler::pop(WorkerId w) {
 }
 
 void MultiPrioScheduler::repush(TaskId t) {
+  verify_point("multiprio.repush", this);
   MP_CHECK_MSG(t.index() < taken_.size() && taken_[t.index()],
                "repush of a task that was never popped");
   // take() removed the task only from the heap it was popped from; lazy
-  // duplicates may still sit in other heaps. Flush them (with their
-  // ready-count) so push() starts from a clean slate, as on first push.
-  for (std::size_t mi = 0; mi < heaps_.size(); ++mi) {
-    if (heaps_[mi].contains(t)) {
-      heaps_[mi].remove(t);
-      MP_ASSERT(ready_count_[mi] > 0);
-      --ready_count_[mi];
-    }
-  }
+  // duplicates may still sit in other heaps. Flush them so push() starts
+  // from a clean slate, as on first push. Their ready counts were already
+  // retired when the task was taken — stale entries are not ready work.
+  for (std::size_t mi = 0; mi < heaps_.size(); ++mi)
+    if (heaps_[mi].contains(t)) heaps_[mi].remove(t);
   taken_[t.index()] = false;
   push(t);
 }
 
 std::vector<TaskId> MultiPrioScheduler::notify_worker_removed(WorkerId w) {
+  verify_point("multiprio.notify_worker_removed", this);
+  MP_CHECK_MSG(w.index() < ctx_.platform->num_workers(),
+               "worker-removed notification for an unknown worker");
   const MemNodeId dead = ctx_.platform->worker(w).node;
   // Stream loss: the node still has live workers, heaps and ledgers stand
   // (the pop_condition already normalizes by the live worker count).
@@ -276,6 +314,82 @@ double MultiPrioScheduler::best_remaining_work(MemNodeId m) const {
 const ScoredHeap& MultiPrioScheduler::heap(MemNodeId m) const {
   MP_CHECK(m.index() < heaps_.size());
   return heaps_[m.index()];
+}
+
+bool MultiPrioScheduler::check_invariants(std::string* why) const {
+  auto fail = [why](const std::string& msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  const std::size_t n_nodes = heaps_.size();
+
+  if (pending_ != pushed_.size())
+    return fail("pending_count " + std::to_string(pending_) + " != " +
+                std::to_string(pushed_.size()) + " push records");
+
+  std::vector<std::size_t> expect_ready(n_nodes, 0);
+  std::vector<double> credit_sum(n_nodes, 0.0);
+  for (const auto& [t, rec] : pushed_) {
+    const std::string tag = "task " + std::to_string(t.value());
+    if (t.index() < taken_.size() && taken_[t.index()])
+      return fail(tag + " is pending but flagged taken");
+    if (rec.nodes.empty())
+      return fail(tag + " is pending but sits in no heap");
+    for (MemNodeId m : rec.nodes) {
+      if (m.index() >= n_nodes) return fail(tag + " records an unknown node");
+      if (!heaps_[m.index()].contains(t))
+        return fail(tag + " records node " + std::to_string(m.value()) +
+                    " but that heap lacks it");
+      ++expect_ready[m.index()];
+    }
+    for (const auto& [m, credited] : rec.brw_added) {
+      if (std::find(rec.nodes.begin(), rec.nodes.end(), m) == rec.nodes.end())
+        return fail(tag + " holds a best-arch credit on node " +
+                    std::to_string(m.value()) +
+                    " it no longer occupies (best heap must never evict)");
+      credit_sum[m.index()] += credited;
+    }
+  }
+
+  for (std::size_t mi = 0; mi < n_nodes; ++mi) {
+    const std::string node = "node " + std::to_string(mi);
+    if (!heaps_[mi].validate()) return fail(node + " heap corrupt");
+    if (ready_count_[mi] != expect_ready[mi])
+      return fail(node + " ready_count " + std::to_string(ready_count_[mi]) +
+                  " != " + std::to_string(expect_ready[mi]) +
+                  " pending entries");
+    bool entry_ok = true;
+    TaskId bad{};
+    heaps_[mi].for_top([&](const HeapEntry& e) {
+      const bool stale =
+          e.task.index() < taken_.size() && taken_[e.task.index()];
+      const auto it = pushed_.find(e.task);
+      const bool live =
+          it != pushed_.end() &&
+          std::find(it->second.nodes.begin(), it->second.nodes.end(),
+                    MemNodeId{mi}) != it->second.nodes.end();
+      if (stale == live) {  // exactly one must hold
+        entry_ok = false;
+        bad = e.task;
+        return false;
+      }
+      return true;
+    });
+    if (!entry_ok)
+      return fail(node + " heap entry for task " + std::to_string(bad.value()) +
+                  " is neither a pending entry nor a stale taken duplicate");
+    // Debits may legally exceed credits (diversion debits the taker's time,
+    // the ledger clamps at zero) but never fall short: the ledger can only
+    // sit at or below the credits still outstanding.
+    const double tol = 1e-9 * (1.0 + credit_sum[mi]);
+    if (!(brw_[mi] >= 0.0) || !(brw_[mi] <= credit_sum[mi] + tol)) {
+      std::ostringstream os;
+      os << node << " best_remaining_work " << brw_[mi]
+         << " outside [0, " << credit_sum[mi] << "] pending-credit bound";
+      return fail(os.str());
+    }
+  }
+  return true;
 }
 
 }  // namespace mp

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -82,6 +83,24 @@ class MultiPrioScheduler final : public Scheduler {
   [[nodiscard]] const GainTracker& gain_tracker() const { return gain_; }
   [[nodiscard]] const ScoredHeap& heap(MemNodeId m) const;
 
+  /// Full structural-consistency audit of the scheduler state — the oracle
+  /// the interleaving explorer evaluates at every quiescent point, and a
+  /// post-run check for tests. Verifies, in O(pending × nodes):
+  ///  - pending_count() == number of PushRecords, and no pending task is
+  ///    flagged taken;
+  ///  - every pending task sits in ≥ 1 heap, exactly the heaps its record
+  ///    names, and its best_remaining_work credits were granted on a subset
+  ///    of those nodes (the best heap never evicts);
+  ///  - per-node ready counts equal the number of pending tasks holding an
+  ///    entry there, and each heap's validate() passes;
+  ///  - every heap entry is either pending there or a lazily-dropped stale
+  ///    duplicate of a taken task;
+  ///  - 0 ≤ best_remaining_work(m) ≤ Σ pending PUSH credits on m (debits
+  ///    may legally over-subtract — diversions debit the taker's time and
+  ///    the ledger clamps at zero — but never under-subtract).
+  /// Returns false and describes the first failure in `*why` (if non-null).
+  [[nodiscard]] bool check_invariants(std::string* why = nullptr) const;
+
  private:
   /// pop_condition (Section V-D): true when `a` is the best arch for `t`
   /// (as judged at PUSH), or the best arch's workers are busy enough that
@@ -119,6 +138,11 @@ class MultiPrioScheduler final : public Scheduler {
   struct PushRecord {
     ArchType best_arch = ArchType::CPU;
     std::vector<std::pair<MemNodeId, double>> brw_added;
+    /// Nodes whose heaps currently hold this task: filled at PUSH, shrunk by
+    /// evictions. take() uses it to retire the per-node ready counts of the
+    /// lazy duplicates it leaves behind, so ready_tasks_count() always means
+    /// "pending tasks with an entry on this node" (stale entries excluded).
+    std::vector<MemNodeId> nodes;
   };
   std::unordered_map<TaskId, PushRecord> pushed_;
   GainTracker gain_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/check.hpp"
+
 namespace mp {
 
 double nod_score(const SchedContext& ctx, TaskId t, MemNodeId m) {
@@ -22,6 +24,8 @@ double nod_score(const SchedContext& ctx, TaskId t, MemNodeId m) {
 }
 
 double NodNormalizer::normalized(const SchedContext& ctx, TaskId t, MemNodeId m) {
+  MP_CHECK_MSG(m.index() < ctx.platform->num_nodes(),
+               "nod score for an unknown memory node");
   const double nod = nod_score(ctx, t, m);
   max_seen_ = std::max(max_seen_, nod);
   return max_seen_ > 0.0 ? nod / max_seen_ : 0.0;

@@ -3,10 +3,12 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "verify/sync.hpp"
 
 namespace mp {
 
 void ScoredHeap::insert(TaskId t, double gain, double prio) {
+  verify_point("scored_heap.insert", this);
   MP_CHECK_MSG(!contains(t), "task already in this heap");
   entries_.push_back(HeapEntry{t, gain, prio, next_seq_++});
   pos_[t] = entries_.size() - 1;
@@ -24,6 +26,7 @@ void ScoredHeap::pop_top() {
 }
 
 void ScoredHeap::remove(TaskId t) {
+  verify_point("scored_heap.remove", this);
   auto it = pos_.find(t);
   MP_CHECK_MSG(it != pos_.end(), "removing a task not in the heap");
   const std::size_t i = it->second;

@@ -1,27 +1,20 @@
 #include "exec/thread_executor.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
 #include <limits>
 #include <mutex>
-#include <thread>
 
 #include "common/check.hpp"
+#include "core/multiprio.hpp"
 #include "obs/metrics.hpp"
 #include "obs/observer.hpp"
+#include "verify/controller.hpp"
+#include "verify/mutation.hpp"
+#include "verify/sync.hpp"
 
 namespace mp {
-
-namespace {
-double now_seconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-}  // namespace
 
 ThreadExecutor::ThreadExecutor(const TaskGraph& graph, const Platform& platform,
                                const PerfDatabase& perf)
@@ -50,14 +43,16 @@ ExecResult ThreadExecutor::run(const ExecSchedulerFactory& make_scheduler,
     lost_at[l.worker.index()] = std::min(lost_at[l.worker.index()], l.time);
   }
 
-  std::mutex mu;
-  std::condition_variable cv;
+  // Shim primitives (src/verify/sync.hpp): plain std:: types in normal
+  // builds, controlled by the interleaving explorer under MP_VERIFY.
+  Mutex mu;
+  CondVar cv;
   std::uint64_t state_version = 0;
   std::size_t completed = 0;
   std::size_t abandoned = 0;
   const std::size_t total = graph_.num_tasks();
-  const double t0 = now_seconds();
-  auto elapsed = [t0] { return now_seconds() - t0; };
+  const double t0 = sync_now_seconds();
+  auto elapsed = [t0] { return sync_now_seconds() - t0; };
 
   SchedContext ctx;
   ctx.graph = &graph_;
@@ -79,6 +74,25 @@ ExecResult ThreadExecutor::run(const ExecSchedulerFactory& make_scheduler,
   std::unique_ptr<Scheduler> sched = make_scheduler(std::move(ctx));
   MP_CHECK(sched != nullptr);
 
+#ifdef MP_VERIFY
+  // Structural-invariant oracle: evaluated on every release of `mu` during
+  // an active exploration (no-op otherwise). The state is quiescent there —
+  // the explorer runs one thread at a time and dispatches nobody until the
+  // probes finish.
+  auto* probed_multiprio = dynamic_cast<MultiPrioScheduler*>(sched.get());
+  auto* probed_recorder = dynamic_cast<RecordingObserver*>(config.observer);
+  verify::ScopedProbe invariant_probe(&mu, [probed_multiprio, probed_recorder] {
+    if (probed_multiprio != nullptr) {
+      std::string why;
+      if (!probed_multiprio->check_invariants(&why))
+        verify::report_violation("MultiPrio invariant broken: " + why);
+    }
+    if (probed_recorder != nullptr && !probed_recorder->events().accounting_ok())
+      verify::report_violation(
+          "EventLog drop accounting out of balance (append race)");
+  });
+#endif
+
   {
     std::lock_guard lock(mu);
     for (TaskId t : graph_.initial_ready()) sched->push(t);
@@ -93,8 +107,8 @@ ExecResult ThreadExecutor::run(const ExecSchedulerFactory& make_scheduler,
   std::vector<bool> abandoned_mask(total, false);
   std::vector<std::size_t> attempts(total, 0);  // failed attempts per task
   // Per-handle mutexes enforcing AccessMode::Commute mutual exclusion.
-  std::vector<std::unique_ptr<std::mutex>> commute_mu(graph_.handles().count());
-  for (auto& m : commute_mu) m = std::make_unique<std::mutex>();
+  std::vector<std::unique_ptr<Mutex>> commute_mu(graph_.handles().count());
+  for (auto& m : commute_mu) m = std::make_unique<Mutex>();
 
   // Executor-side event emission; the observers are thread-safe, so no lock
   // discipline beyond what the call sites already hold.
@@ -145,10 +159,17 @@ ExecResult ThreadExecutor::run(const ExecSchedulerFactory& make_scheduler,
         cv.notify_all();
         return;
       }
-      const double pop_begin = pop_latency != nullptr ? now_seconds() : 0.0;
+      const double pop_begin = pop_latency != nullptr ? sync_now_seconds() : 0.0;
+      // Seeded mutation SkipExecutorLock: drop the executor lock around the
+      // pop so two workers can interleave inside the policy's POP path.
+      // Compiles to constant-false (dead code) outside MP_VERIFY builds.
+      const bool skip_lock =
+          verify::mutation_active(verify::Mutation::SkipExecutorLock);
+      if (skip_lock) lock.unlock();
       const std::optional<TaskId> popped = sched->pop(w);
+      if (skip_lock) lock.lock();
       if (pop_latency != nullptr)
-        pop_latency->observe(std::max(0.0, now_seconds() - pop_begin));
+        pop_latency->observe(std::max(0.0, sync_now_seconds() - pop_begin));
       if (!popped) {
         const std::uint64_t seen = state_version;
         // Timed wait: a buggy policy must not hang the process — the worker
@@ -188,14 +209,14 @@ ExecResult ThreadExecutor::run(const ExecSchedulerFactory& make_scheduler,
       std::sort(locks.begin(), locks.end());
       locks.erase(std::unique(locks.begin(), locks.end()), locks.end());
       for (std::uint32_t d : locks) commute_mu[d]->lock();
-      const double start = now_seconds();
+      const double start = sync_now_seconds();
       bool failed = false;
       try {
         fn(graph_.task(t), buffers);
       } catch (...) {
         failed = true;  // exception-to-retry: treated as a transient failure
       }
-      const double dur = std::max(1e-9, now_seconds() - start);
+      const double dur = std::max(1e-9, sync_now_seconds() - start);
       for (auto it = locks.rbegin(); it != locks.rend(); ++it)
         commute_mu[*it]->unlock();
       bool straggled = false;
@@ -205,7 +226,7 @@ ExecResult ThreadExecutor::run(const ExecSchedulerFactory& make_scheduler,
         if (mult > 1.0) {
           // Functional emulation of a straggler: hold the worker as long as
           // the slowdown would have.
-          std::this_thread::sleep_for(std::chrono::duration<double>(dur * (mult - 1.0)));
+          sync_sleep_for(std::chrono::duration<double>(dur * (mult - 1.0)));
           straggled = true;
         }
       }
@@ -272,7 +293,7 @@ ExecResult ThreadExecutor::run(const ExecSchedulerFactory& make_scheduler,
     }
   }
 
-  std::vector<std::thread> threads;
+  std::vector<Thread> threads;
   threads.reserve(platform_.num_workers());
   for (std::size_t wi = 0; wi < platform_.num_workers(); ++wi)
     threads.emplace_back(worker_body, WorkerId{wi});
@@ -281,7 +302,7 @@ ExecResult ThreadExecutor::run(const ExecSchedulerFactory& make_scheduler,
   MP_CHECK_MSG(completed + abandoned == total,
                "run ended with tasks neither executed nor abandoned");
   MP_CHECK_MSG(sched->pending_count() == 0, "scheduler still holds tasks");
-  result.wall_seconds = now_seconds() - t0;
+  result.wall_seconds = sync_now_seconds() - t0;
   result.tasks_executed = completed;
   result.fault.tasks_abandoned = abandoned;
   result.fault.degraded = result.fault.workers_lost > 0 || abandoned > 0;

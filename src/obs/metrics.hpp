@@ -9,13 +9,14 @@
 #pragma once
 
 #include <array>
-#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "verify/sync.hpp"
 
 namespace mp {
 
@@ -28,7 +29,7 @@ class Counter {
   }
 
  private:
-  std::atomic<std::uint64_t> value_{0};
+  Atomic<std::uint64_t> value_{0};
 };
 
 struct GaugeSample {
@@ -51,7 +52,7 @@ class Gauge {
   [[nodiscard]] std::vector<GaugeSample> samples() const;
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::size_t capacity_;
   std::vector<GaugeSample> ring_;
   std::size_t head_ = 0;  // next overwrite position once full
@@ -81,7 +82,7 @@ class Histogram {
   [[nodiscard]] static std::size_t bucket_of(double v);
   [[nodiscard]] static double bucket_upper(std::size_t b);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::array<std::uint64_t, kBuckets> buckets_{};
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
@@ -106,7 +107,7 @@ class MetricsRegistry {
   [[nodiscard]] std::string to_string() const;
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;

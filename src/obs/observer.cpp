@@ -52,6 +52,14 @@ std::uint64_t EventLog::count(SchedEventKind k) const {
   return counts_[static_cast<std::size_t>(k)];
 }
 
+bool EventLog::accounting_ok() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t kind_sum = 0;
+  for (std::uint64_t c : counts_) kind_sum += c;
+  return kind_sum == next_seq_ &&
+         static_cast<std::uint64_t>(ring_.size()) + dropped_ == next_seq_;
+}
+
 std::string EventLog::to_csv() const {
   Table t({"seq", "time", "kind", "task", "worker", "node", "gain", "nod", "locality",
            "brw", "heap_depth", "attempt"});

@@ -16,6 +16,7 @@
 
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
+#include "verify/sync.hpp"
 
 namespace mp {
 
@@ -42,10 +43,15 @@ class EventLog {
   /// CSV of the retained events (one row per event, full payload).
   [[nodiscard]] std::string to_csv() const;
 
+  /// Drop accounting consistency: retained + dropped == recorded, and the
+  /// per-kind totals sum to recorded. Always true unless appends raced —
+  /// one of the structural invariants the verification oracle evaluates.
+  [[nodiscard]] bool accounting_ok() const;
+
   static constexpr std::size_t kDefaultCapacity = 1u << 20;
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::size_t capacity_;
   std::vector<SchedEvent> ring_;
   std::size_t head_ = 0;  // next overwrite position once full

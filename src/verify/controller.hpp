@@ -1,0 +1,77 @@
+// The controlled scheduler behind mp::sync under MP_VERIFY.
+//
+// One Controller is active per exploration (explore.hpp drives it, one
+// schedule at a time). Managed threads are real OS threads, but exactly one
+// holds the run token at any instant; every visible operation (see
+// verify::OpKind in sync.hpp) first publishes itself as the thread's
+// *pending* op and then asks the controller who runs next. That single
+// choice point is where the two exploration strategies plug in:
+//
+//  - Exhaustive: depth-first over all choices at every branching point
+//    (≥ 2 runnable threads), with sleep-set pruning — after a choice's
+//    subtree is fully explored the choice is put to sleep, and the sleep set
+//    propagates to children across transitions it is independent with
+//    (different object, or both reads). Sound for the tiny fixtures it is
+//    meant for (2–3 workers, 4–8 tasks).
+//  - Pct: randomized priority scheduling à la PCT (Burckhardt et al.):
+//    threads get random priorities from a seeded RNG, d−1 priority-change
+//    points demote the running thread at random step indices, and the
+//    highest-priority runnable thread always runs. Each schedule is fully
+//    determined by (seed, schedule index).
+//
+// Violations — a failed invariant probe, an MP_CHECK tripping inside a
+// managed thread, a deadlock, an unlock by a non-owner — capture the full
+// schedule trace and unwind every managed thread via ViolationUnwind; the
+// explorer returns them as data instead of aborting the process.
+#pragma once
+
+#ifdef MP_VERIFY
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace mp {
+class VMutex;
+}
+
+namespace mp::verify {
+
+/// Thrown inside managed threads to unwind them on violation or run abort.
+/// User code may pass it through a `catch (...)` (the executor's kernel
+/// retry does); every subsequent visible op rethrows until the thread's
+/// wrapper catches it.
+struct ViolationUnwind {};
+
+/// Registers an invariant probe for the current exploration (no-op when no
+/// exploration is active). The probe runs every time `guard` is released
+/// (unlock or a condition wait) — the moments the guarded state is
+/// externally visible — on the releasing thread, with the shim in
+/// passthrough mode so the probe can read observer/metrics state freely.
+/// The probe calls report_violation() (or lets an MP_CHECK fire) to flag
+/// a broken invariant.
+class ScopedProbe {
+ public:
+  ScopedProbe(const VMutex* guard, std::function<void()> check);
+  ~ScopedProbe();
+  ScopedProbe(const ScopedProbe&) = delete;
+  ScopedProbe& operator=(const ScopedProbe&) = delete;
+
+ private:
+  std::uint64_t id_ = 0;
+};
+
+/// Flags a violation from probe or test code: when an exploration is
+/// active, records the message plus the schedule trace and unwinds;
+/// otherwise prints and aborts.
+[[noreturn]] void report_violation(const std::string& msg);
+
+/// MP_CHECK / MP_ASSERT failures land here in verify builds (see
+/// common/check.hpp): inside an exploration they become violations with a
+/// schedule trace; outside they abort exactly like a normal build.
+[[noreturn]] void check_fail_hook(const char* expr, const char* file, int line,
+                                  const char* msg);
+
+}  // namespace mp::verify
+
+#endif  // MP_VERIFY

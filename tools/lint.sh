@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Project lint wall. Two custom rules that clang-tidy cannot express, plus a
+# clang-tidy pass over the core when the binary is available.
+#
+#   1. No naked std synchronization primitives outside src/verify/. All of
+#      src/ must go through the mp::sync shim (mp::Mutex, mp::Thread,
+#      mp::Atomic, ...) so that -DMP_VERIFY=ON builds can interpose the
+#      deterministic interleaving explorer. A raw std::mutex is invisible to
+#      the controlled scheduler and silently shrinks the explored space.
+#
+#   2. Every public mutator of the scheduler core (src/core/) must carry at
+#      least one always-on MP_CHECK / MP_CHECK_MSG in its own body. MP_ASSERT
+#      does not count: it compiles out under NDEBUG, and the verification
+#      harness relies on always-on checks to turn racy corruption into caught
+#      violations instead of undefined behaviour.
+#
+# Usage: tools/lint.sh [--no-tidy]   (run from anywhere inside the repo)
+set -u
+
+cd "$(dirname "$0")/.." || exit 1
+fail=0
+
+# ---- Rule 1: naked std primitives --------------------------------------------
+# Word-boundary match; a '// lint-allow-std-sync' suffix exempts a line (the
+# shim itself lives in src/verify/ and is excluded wholesale).
+naked=$(grep -rnE '\bstd::(mutex|recursive_mutex|shared_mutex|timed_mutex|condition_variable(_any)?|thread|jthread|atomic(_flag)?)\b' \
+            src/ --include='*.hpp' --include='*.cpp' \
+        | grep -v '^src/verify/' \
+        | grep -v 'lint-allow-std-sync' || true)
+if [[ -n "$naked" ]]; then
+  echo "lint: naked std synchronization primitives outside src/verify/ —"
+  echo "      use the mp::sync shim (src/verify/sync.hpp) instead:"
+  echo "$naked" | sed 's/^/      /'
+  fail=1
+fi
+
+# ---- Rule 2: MP_CHECK-less public mutators in src/core/ ----------------------
+# For each header: walk class bodies tracking the public/private/protected
+# label, collect non-const, non-static public method names ("mutators").
+# For each such method with an out-of-line definition in the matching .cpp,
+# require MP_CHECK somewhere in the definition body.
+for hdr in src/core/*.hpp; do
+  cpp="${hdr%.hpp}.cpp"
+  [[ -f "$cpp" ]] || continue
+  mutators=$(awk '
+    /^(class|struct)[ \t]+[A-Za-z_]/ { in_class = 1; access = /^struct/ ? "public" : "private" }
+    in_class && /^[ \t]*public:/    { access = "public";    next }
+    in_class && /^[ \t]*private:/   { access = "private";   next }
+    in_class && /^[ \t]*protected:/ { access = "protected"; next }
+    in_class && /^};/               { in_class = 0 }
+    # A public declaration line with a parameter list that is not const-
+    # qualified, not static, not deleted/defaulted, and not an operator.
+    in_class && access == "public" && /^[ \t]*[A-Za-z_\[].*\(/ \
+        && !/\)[ \t]*const/ && !/const[ \t]*;[ \t]*$/ \
+        && !/static|operator|= *(delete|default)|using|typedef|friend/ {
+      line = $0
+      sub(/\(.*/, "", line)            # drop the parameter list onward
+      n = split(line, parts, /[ \t*&]+/)
+      name = parts[n]                  # last token before "(" is the name
+      if (name ~ /^[a-z_][A-Za-z0-9_]*$/) print name   # skips ctors/dtors
+    }
+  ' "$hdr" | sort -u)
+  for m in $mutators; do
+    # Extract the out-of-line definition body by brace counting.
+    body=$(awk -v m="$m" '
+      !in_fn && $0 ~ ("^[A-Za-z_].*::" m "\\(") { in_fn = 1 }
+      in_fn {
+        print
+        depth += gsub(/{/, "{") - gsub(/}/, "}")
+        if (seen_open && depth == 0) exit
+        if (depth > 0) seen_open = 1
+      }
+    ' "$cpp")
+    [[ -z "$body" ]] && continue  # inline in the header or not defined here
+    if ! grep -q 'MP_CHECK' <<<"$body"; then
+      echo "lint: ${cpp}: public mutator ${m}() has no always-on MP_CHECK" \
+           "in its body"
+      fail=1
+    fi
+  done
+done
+
+# ---- clang-tidy (best effort: skipped when unavailable) ----------------------
+if [[ "${1:-}" != "--no-tidy" ]]; then
+  if command -v clang-tidy >/dev/null 2>&1; then
+    if [[ ! -f build/compile_commands.json ]]; then
+      cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    fi
+    if ! clang-tidy -p build --quiet src/core/*.cpp src/exec/*.cpp src/obs/*.cpp; then
+      echo "lint: clang-tidy reported errors"
+      fail=1
+    fi
+  else
+    echo "lint: clang-tidy not found; skipping tidy pass (custom rules still ran)"
+  fi
+fi
+
+if [[ $fail -eq 0 ]]; then
+  echo "lint: OK"
+fi
+exit $fail

@@ -4,12 +4,18 @@
 // HeteroPrio is quantified here.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <limits>
+#include <memory>
 
 #include "core/multiprio.hpp"
 #include "core/scored_heap.hpp"
 #include "common/rng.hpp"
+#include "exec/thread_executor.hpp"
 #include "obs/bench_json.hpp"
 #include "obs/observer.hpp"
 #include "sched/schedulers.hpp"
@@ -126,34 +132,205 @@ void BM_PushPopMultiPrioRecording(benchmark::State& state) {
   RecordingObserver obs;
   bench_policy(state, "multiprio", &obs);
 }
+// Same sink with the ring pre-allocated: isolates how much of the recording
+// cost was EventLog regrowth charged to the measured loop.
+void BM_PushPopMultiPrioRecordingReserved(benchmark::State& state) {
+  RecordingObserver obs(EventLog::kDefaultCapacity, /*reserve_upfront=*/true);
+  bench_policy(state, "multiprio", &obs);
+}
 BENCHMARK(BM_PushPopMultiPrioNullSink);
 BENCHMARK(BM_PushPopMultiPrioRecording);
+BENCHMARK(BM_PushPopMultiPrioRecordingReserved);
+
+// ---- multi-worker contention sweep ----------------------------------------
+
+// The sweep platform: W CPU workers on the RAM node + W GPU streams on one
+// GPU node. The node (= shard) count is FIXED at two across the sweep, so
+// ns_per_task growth isolates lock/wakeup contention — the quantity the
+// sharded protocol controls — from the structural cost of duplicating a
+// push into more node heaps (which scales with nodes, not workers, and is
+// identical under both protocols).
+Platform sweep_platform(std::size_t workers_per_arch) {
+  Platform p;
+  p.add_workers(ArchType::CPU, p.ram_node(), workers_per_arch);
+  const MemNodeId gpu = p.add_gpu_node(0, 10e9, 1e-6);
+  p.add_workers(ArchType::GPU, gpu, workers_per_arch);
+  return p;
+}
+
+struct RunCost {
+  double wall_s = 0.0;
+  double cpu_s = 0.0;  ///< process CPU burned by the run, all threads
+};
+
+double process_cpu_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+// One real ThreadExecutor run over a single long dependency chain of no-op
+// tasks: the cost is almost pure scheduling overhead (PUSH/POP/park/wake +
+// dependency release), which is the quantity the lock protocol changes. The
+// serial chain is the worst case for wakeup discipline — exactly one task is
+// ever ready, so at width W every completion happens with 2W-1 workers
+// parked. The coarse engine broadcast-wakes all of them per state change;
+// the sharded protocol's waiter-gated, eligibility-filtered notify wakes at
+// most one (and usually none, since the completing worker pops the successor
+// itself). CPU time is the scaling metric: parked workers are free only if
+// the protocol does not keep waking them, and on small hosts wall time
+// measures timeslicing, not scheduler overhead.
+RunCost run_executor_once(const std::string& sched, std::size_t workers,
+                          std::size_t n_tasks, SchedObserver* observer) {
+  constexpr std::size_t kChains = 1;
+  TaskGraph g;
+  const CodeletId cl = g.add_codelet("tick", {ArchType::CPU, ArchType::GPU},
+                                     [](const Task&, std::span<void* const>) {});
+  Rng rng(4);
+  std::vector<DataId> chain_data;
+  for (std::size_t c = 0; c < kChains; ++c)
+    chain_data.push_back(g.add_data(1024 * (1 + rng.next_in(0, 64))));
+  for (std::size_t i = 0; i < n_tasks; ++i) {
+    SubmitOptions o;
+    o.flops = 1e6 * static_cast<double>(1 + rng.next_in(0, 1000));
+    g.submit(cl, {Access{chain_data[i % kChains], AccessMode::ReadWrite}}, o);
+  }
+  Platform p = sweep_platform(workers);
+  PerfDatabase db;
+  db.set_default(ArchType::CPU, RateSpec{10.0, 0.0, 0.0, 0.0});
+  db.set_default(ArchType::GPU, RateSpec{100.0, 0.0, 0.0, 0.0});
+  ThreadExecutor exec(g, p, db);
+  ExecConfig cfg;
+  cfg.stall_timeout = 0.05;
+  cfg.observer = observer;
+  const double cpu0 = process_cpu_seconds();
+  const ExecResult r = exec.run(
+      [&](SchedContext ctx) { return make_scheduler_by_name(sched, std::move(ctx)); },
+      cfg);
+  const double cpu1 = process_cpu_seconds();
+  if (r.tasks_executed != n_tasks) {
+    std::fprintf(stderr, "sweep run lost tasks: %zu/%zu (%s, %zu workers)\n",
+                 r.tasks_executed, n_tasks, sched.c_str(), workers);
+    std::exit(1);
+  }
+  return RunCost{r.wall_seconds, cpu1 - cpu0};
+}
+
+struct SweepPoint {
+  std::string scheduler;
+  std::size_t workers = 0;
+  double ns_per_task = 0.0;
+};
+
+// Sweeps worker counts over the sharded default and the coarse-lock
+// baseline, emitting ns_per_task plus the contention metrics
+// (sched.lock_wait_s / sched.wakeups) from one instrumented run per point.
+void emit_sweep_records(std::vector<BenchRecord>& records,
+                        std::vector<SweepPoint>& points) {
+  constexpr std::size_t kTasks = 4096;
+  constexpr int kReps = 3;
+  const std::size_t widths[] = {1, 2, 4, 8, 16};
+  for (const char* sched : {"multiprio", "multiprio-coarse"}) {
+    for (const std::size_t w : widths) {
+      double best_wall = std::numeric_limits<double>::infinity();
+      double best_cpu = std::numeric_limits<double>::infinity();
+      for (int rep = 0; rep < kReps; ++rep) {
+        const RunCost c = run_executor_once(sched, w, kTasks, nullptr);
+        best_wall = std::min(best_wall, c.wall_s);
+        best_cpu = std::min(best_cpu, c.cpu_s);
+      }
+      // The timed runs above are observer-free; the contention metrics come
+      // from one extra instrumented run (its lock-wait timing path only
+      // activates when a MetricsRegistry is attached).
+      RecordingObserver obs(EventLog::kDefaultCapacity, /*reserve_upfront=*/true);
+      run_executor_once(sched, w, kTasks, &obs);
+      const Histogram& lock_wait = obs.metrics()->histogram("sched.lock_wait_s");
+      const Counter& wakeups = obs.metrics()->counter("sched.wakeups");
+      // ns_per_task = scheduling CPU per task: the overhead the protocol
+      // controls, and the only per-task number comparable across machines
+      // with different core counts (wall time on an oversubscribed host
+      // measures the kernel's timeslicing instead).
+      const double ns = best_cpu / static_cast<double>(kTasks) * 1e9;
+      records.push_back(
+          BenchRecord("overhead_sweep", sched)
+              .param("workers", w)  // per arch: w CPUs + w GPU streams
+              .param("tasks", kTasks)
+              .param("reps", static_cast<std::size_t>(kReps))
+              .makespan_s(best_wall)
+              .extra("ns_per_task", ns)
+              .extra("wall_ns_per_task",
+                     best_wall / static_cast<double>(kTasks) * 1e9)
+              .extra("lock_acquires", static_cast<double>(lock_wait.count()))
+              .extra("lock_wait_s", lock_wait.sum())
+              .extra("lock_wait_max_s", lock_wait.max())
+              .extra("wakeups", static_cast<double>(wakeups.value())));
+      points.push_back(SweepPoint{sched, w, ns});
+      std::printf("  sweep %-16s %2zu workers: %8.0f ns/task cpu  "
+                  "(wall %.0f ns, lock_wait %.3fms over %llu acquires, "
+                  "%llu wakeups)\n",
+                  sched, w, ns, best_wall / static_cast<double>(kTasks) * 1e9,
+                  lock_wait.sum() * 1e3,
+                  static_cast<unsigned long long>(lock_wait.count()),
+                  static_cast<unsigned long long>(wakeups.value()));
+    }
+  }
+}
+
+double sweep_ns(const std::vector<SweepPoint>& points, const std::string& sched,
+                std::size_t workers) {
+  for (const SweepPoint& p : points)
+    if (p.scheduler == sched && p.workers == workers) return p.ns_per_task;
+  return 0.0;
+}
 
 // Machine-readable observer-overhead summary, emitted as
 // BENCH_overhead.json so CI accumulates the instrumentation cost over time.
 // Timed directly (std::chrono around the same push/pop loop the
 // google-benchmark cases run) so the emission does not depend on any
 // particular google-benchmark reporter API.
-void emit_overhead_json() {
+void emit_overhead_json(std::vector<BenchRecord>& records) {
+  // Each rep gets a FRESH observer from its mode's factory: the lazy ring's
+  // regrowth cost only exists on a cold EventLog, so reusing one observer
+  // across reps would hide it from the best-of minimum. The lazy mode stays
+  // measured so the reserve-up-front fix is re-checked in the same process,
+  // back to back — cross-invocation numbers on a shared host differ by more
+  // than the effect.
   struct Mode {
     const char* name;
-    SchedObserver* observer;
+    std::unique_ptr<SchedObserver> (*make)();
   };
-  NullObserver null_obs;
-  RecordingObserver rec_obs;
-  const Mode modes[] = {{"none", nullptr}, {"null", &null_obs}, {"recording", &rec_obs}};
+  const Mode modes[] = {
+      {"none", []() -> std::unique_ptr<SchedObserver> { return nullptr; }},
+      {"null",
+       []() -> std::unique_ptr<SchedObserver> {
+         return std::make_unique<NullObserver>();
+       }},
+      {"recording",
+       []() -> std::unique_ptr<SchedObserver> {
+         return std::make_unique<RecordingObserver>(EventLog::kDefaultCapacity,
+                                                    /*reserve_upfront=*/true);
+       }},
+      {"recording-lazy", []() -> std::unique_ptr<SchedObserver> {
+         return std::make_unique<RecordingObserver>(EventLog::kDefaultCapacity,
+                                                    /*reserve_upfront=*/false);
+       }}};
 
   constexpr std::size_t kTasks = 4096;
   constexpr int kReps = 5;
-  std::vector<BenchRecord> records;
   double baseline_s = 0.0;
   for (const Mode& mode : modes) {
     SchedWorld world(kTasks);
-    const auto t0 = std::chrono::steady_clock::now();
+    // Best-of-reps: each rep is a full push/pop cycle timed on its own, and
+    // the fastest one is the measurement — on a shared/small host the mean
+    // is dominated by timeslicing noise, the minimum by the actual cost.
+    double elapsed = std::numeric_limits<double>::infinity();
+    std::unique_ptr<SchedObserver> observer;
     for (int rep = 0; rep < kReps; ++rep) {
+      observer = mode.make();
       SchedContext ctx = world.ctx();
-      ctx.observer = mode.observer;
+      ctx.observer = observer.get();
       auto sched = make_scheduler_by_name("multiprio", std::move(ctx));
+      const auto t0 = std::chrono::steady_clock::now();
       for (TaskId t : world.tasks) sched->push(t);
       std::size_t popped = 0;
       std::size_t wi = 0;
@@ -162,10 +339,12 @@ void emit_overhead_json() {
         if (sched->pop(WorkerId{wi}).has_value()) ++popped;
         wi = (wi + 1) % nw;
       }
+      elapsed = std::min(
+          elapsed,
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count());
     }
-    const double elapsed =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-    if (mode.observer == nullptr) baseline_s = elapsed;
+    if (observer == nullptr) baseline_s = elapsed;
     // "efficiency" = baseline/mode: 1.0 for the observer-free path, and the
     // slowdown factor's reciprocal for the instrumented ones — the ratio a
     // regression check watches.
@@ -176,22 +355,60 @@ void emit_overhead_json() {
             .param("reps", static_cast<std::size_t>(kReps))
             .makespan_s(elapsed)
             .efficiency(elapsed > 0.0 && baseline_s > 0.0 ? baseline_s / elapsed : 0.0)
-            .extra("ns_per_task",
-                   elapsed / static_cast<double>(kTasks * kReps) * 1e9);
-    if (mode.observer == &rec_obs) rec.events_from(rec_obs.events());
+            .extra("ns_per_task", elapsed / static_cast<double>(kTasks) * 1e9);
+    if (auto* rec_obs = dynamic_cast<RecordingObserver*>(observer.get());
+        rec_obs != nullptr && std::strcmp(mode.name, "recording") == 0)
+      rec.events_from(rec_obs->events());
     records.push_back(rec);
   }
+}
+
+// Runs observer modes + the worker sweep and writes BENCH_overhead.json.
+// Returns false if the smoke scaling assertion fails (checked only when
+// `enforce` — the CI bench-smoke gate; full runs just print the ratios).
+bool emit_bench_json(bool enforce) {
+  std::vector<BenchRecord> records;
+  emit_overhead_json(records);
+  std::vector<SweepPoint> points;
+  emit_sweep_records(records, points);
   if (!write_bench_json("BENCH_overhead.json", records))
     std::fprintf(stderr, "warning: could not write BENCH_overhead.json\n");
+
+  const double sharded_1 = sweep_ns(points, "multiprio", 1);
+  const double sharded_8 = sweep_ns(points, "multiprio", 8);
+  const double coarse_8 = sweep_ns(points, "multiprio-coarse", 8);
+  const double scaling = sharded_1 > 0.0 ? sharded_8 / sharded_1 : 0.0;
+  const double speedup = sharded_8 > 0.0 ? coarse_8 / sharded_8 : 0.0;
+  std::printf("sweep: sharded 8w/1w ns_per_task ratio %.2f (gate: <= 1.50), "
+              "coarse/sharded at 8w %.2fx\n",
+              scaling, speedup);
+  bool ok = true;
+  if (enforce && scaling > 1.5) {
+    std::fprintf(stderr,
+                 "SMOKE FAIL: sharded ns_per_task at 8 workers is %.2fx the "
+                 "1-worker cost (budget 1.5x) — scheduling no longer scales\n",
+                 scaling);
+    ok = false;
+  }
+  return ok;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --smoke: skip the google-benchmark suite, run the sweep + observer modes
+  // once and enforce the scaling assertion — the CI bench-smoke entry point.
+  // Emits the same BENCH_overhead.json as a full run so the regression gate
+  // can diff it against the committed baseline.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      return emit_bench_json(/*enforce=*/true) ? 0 : 1;
+    }
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  emit_overhead_json();
+  emit_bench_json(/*enforce=*/false);
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "core/multiprio.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <sstream>
 
@@ -14,97 +15,294 @@ namespace mp {
 MultiPrioScheduler::MultiPrioScheduler(SchedContext ctx, MultiPrioConfig config)
     : Scheduler(std::move(ctx)), cfg_(config) {
   const std::size_t n_nodes = ctx_.platform->num_nodes();
-  heaps_.resize(n_nodes);
-  ready_count_.assign(n_nodes, 0);
-  brw_.assign(n_nodes, 0.0);
+  MP_CHECK_MSG(n_nodes <= 64,
+               "PushRecord::live_mask is a uint64 bitmask (max 64 memory nodes)");
+  num_shards_ = n_nodes;
+  shards_ = std::make_unique<Shard[]>(n_nodes);
+  ready_count_ = std::vector<RelaxedAtomic<std::int64_t>>(n_nodes);
+  brw_ = std::vector<RelaxedAtomic<double>>(n_nodes);
+  // Task table sized for the graph as submitted so far; STF graphs that
+  // keep growing go through ensure_task_capacity(), which reallocates only
+  // under every shard lock (pops dereference entries under theirs).
+  states_ = std::vector<TaskState>(ctx_.graph->num_tasks());
   // Resolve instrument names once; the hot paths then pay one null test.
   if (MetricsRegistry* mx = ctx_.observer ? ctx_.observer->metrics() : nullptr) {
     m_stale_discards_ = &mx->counter("multiprio.stale_discards");
     m_window_scans_ = &mx->counter("multiprio.locality_window_scans");
     m_window_hits_ = &mx->counter("multiprio.locality_window_hits");
+    m_wakeups_ = &mx->counter("sched.wakeups");
+    m_lock_wait_ = &mx->histogram("sched.lock_wait_s");
     m_heap_depth_.resize(n_nodes);
     for (std::size_t mi = 0; mi < n_nodes; ++mi)
       m_heap_depth_[mi] = &mx->gauge("multiprio.heap_depth.node" + std::to_string(mi));
   }
 }
 
-void MultiPrioScheduler::sample_heap_depth(MemNodeId m, double time) {
-  if (m_heap_depth_.empty()) return;
-  m_heap_depth_[m.index()]->sample(time, static_cast<double>(heaps_[m.index()].size()));
+// --- shard-lock discipline ---------------------------------------------------
+// tools/lint.sh rule 3: every mention of a shard mutex carries the
+// `shard-lock(asc)` tag, and multi-shard acquisition happens only through
+// AscendingShardLocks, which sorts its set — so src/core/ can never take two
+// node locks out of ascending order. Both helpers are no-ops in coarse mode.
+
+void MultiPrioScheduler::lock_shard(std::size_t mi) const {
+  if (!cfg_.sharded) return;
+  Mutex& mu = shards_[mi].order_mu;  // shard-lock(asc)
+  if (m_lock_wait_ == nullptr) {
+    mu.lock();
+    return;
+  }
+  // Contention-visible path: an uncontended acquire records a zero so the
+  // histogram's count doubles as an acquisition counter.
+  if (mu.try_lock()) {
+    m_lock_wait_->observe(0.0);
+    return;
+  }
+  const double t0 = sync_now_seconds();
+  mu.lock();
+  m_lock_wait_->observe(std::max(0.0, sync_now_seconds() - t0));
 }
 
-void MultiPrioScheduler::push(TaskId t) {
-  verify_point("multiprio.push", this);
-  if (taken_.size() <= t.index()) taken_.resize(t.index() + 1, false);
-  MP_ASSERT(!taken_[t.index()]);
+void MultiPrioScheduler::unlock_shard(std::size_t mi) const {
+  if (!cfg_.sharded) return;
+  shards_[mi].order_mu.unlock();  // shard-lock(asc)
+}
+
+MultiPrioScheduler::AscendingShardLocks::AscendingShardLocks(
+    const MultiPrioScheduler& s, std::vector<std::size_t> shards)
+    : s_(s), shards_(std::move(shards)) {
+  std::sort(shards_.begin(), shards_.end());
+  shards_.erase(std::unique(shards_.begin(), shards_.end()), shards_.end());
+  for (std::size_t mi : shards_) s_.lock_shard(mi);
+}
+
+MultiPrioScheduler::AscendingShardLocks::~AscendingShardLocks() {
+  for (auto it = shards_.rbegin(); it != shards_.rend(); ++it)
+    s_.unlock_shard(*it);
+}
+
+std::vector<std::size_t> MultiPrioScheduler::all_shard_indices() const {
+  std::vector<std::size_t> all(num_shards_);
+  for (std::size_t mi = 0; mi < num_shards_; ++mi) all[mi] = mi;
+  return all;
+}
+
+MultiPrioScheduler::TaskState& MultiPrioScheduler::state_of(TaskId t) {
+  MP_CHECK_MSG(t.index() < states_.size(),
+               "task id outside the graph the scheduler was built for");
+  return states_[t.index()];
+}
+
+void MultiPrioScheduler::ensure_task_capacity(std::size_t min_tasks) {
+  if (min_tasks <= states_.size()) return;
+  // STF graphs keep growing after scheduler construction, so the state
+  // table must too. Growing reallocates it, which would race with pops
+  // dereferencing their shard's entries — growth therefore happens under
+  // every shard lock (the locks those reads hold) and geometrically, so the
+  // full-quiescence round stays amortized-rare. Callers are push-side and
+  // already serialized against each other.
+  AscendingShardLocks locks(*this, all_shard_indices());
+  states_.resize(std::max(min_tasks, states_.size() * 2));
+}
+
+void MultiPrioScheduler::sample_heap_depth(MemNodeId m, double time) {
+  if (m_heap_depth_.empty()) return;
+  m_heap_depth_[m.index()]->sample(
+      time, static_cast<double>(shards_[m.index()].heap.size()));
+}
+
+void MultiPrioScheduler::notify_shard(std::size_t mi, std::size_t inserted) {
+  if (!cfg_.sharded || inserted == 0) return;
+  // Waiter-gated targeted wakeup: only the node that received work is
+  // notified, and only when a worker is actually parked there. Safe against
+  // lost wakeups: waiters is written under the shard lock and the epoch was
+  // bumped under that lock before this read, so a worker missing from the
+  // count either saw the new epoch (and will not park) or has yet to run its
+  // failed pop. A zero read means every worker of this node is active and
+  // will pop the task on its next loop — no futex needed.
+  if (shards_[mi].waiters.load() == 0) return;
+  if (inserted == 1) {
+    shards_[mi].cv.notify_one();
+  } else {
+    shards_[mi].cv.notify_all();
+  }
+  if (m_wakeups_ != nullptr) m_wakeups_->inc();
+}
+
+void MultiPrioScheduler::notify_one_waiter(const std::vector<std::size_t>& eligible) {
+  if (!cfg_.sharded) return;
+  // A newly-pushed task is a single unit of work duplicated across shards:
+  // wake the first eligible shard where EVERY live worker is parked, and
+  // stop. A shard with any awake worker needs no futex — that worker pops
+  // the duplicate on its next loop, and a woken sibling would just lose the
+  // race and re-park (measured: one wasted futex round trip per completion).
+  // A waiter that does lose a race re-parks against the bumped epoch, so no
+  // wakeup is ever lost; a task left for busy-but-awake workers, or a
+  // diversion that becomes attractive later with no push to advertise it,
+  // is bounded by the engine's stall timeout.
+  for (std::size_t mi : eligible) {
+    const std::uint32_t parked = shards_[mi].waiters.load();
+    if (parked == 0) continue;
+    if (parked < live_workers_of_node(ctx_, MemNodeId{mi})) continue;
+    shards_[mi].cv.notify_one();
+    if (m_wakeups_ != nullptr) m_wakeups_->inc();
+    return;
+  }
+}
+
+std::vector<std::size_t> MultiPrioScheduler::target_shards(TaskId t) const {
+  std::vector<std::size_t> targets;
+  for (std::size_t mi = 0; mi < num_shards_; ++mi) {
+    const MemNodeId m{mi};
+    if (live_workers_of_node(ctx_, m) == 0) continue;
+    if (!ctx_.graph->can_exec(t, ctx_.platform->node_arch(m))) continue;
+    targets.push_back(mi);
+  }
+  return targets;  // ascending by construction
+}
+
+void MultiPrioScheduler::push_locked(TaskId t, double t_now) {
+  TaskState& st = state_of(t);
+  MP_CHECK_MSG(st.phase.load() != kPending, "push of an already-pending task");
+  MP_ASSERT(st.phase.load() != kTaken);  // repush resets to Idle first
 
   const ArchType best = best_arch_for(ctx_, t);
-  bool inserted_somewhere = false;
-  PushRecord& rec = pushed_[t];
+  PushRecord& rec = st.rec;
   rec.best_arch = best;
-  auto& added = rec.brw_added;
+  rec.nodes.clear();
+  rec.brw_added.clear();
+  // Cache the push-time δ(t,a) verdicts: the pop_condition and the take
+  // debit must judge against the same estimates PUSH did (live estimates
+  // drift as the history model re-trains), and reading them from the record
+  // keeps the POP path off the HistoryModel entirely — pops run under only
+  // their own shard lock, pushes are serialized by the engine.
+  for (std::size_t ai = 0; ai < kNumArchTypes; ++ai) {
+    const auto a = static_cast<ArchType>(ai);
+    rec.delta[ai] =
+        ctx_.graph->can_exec(t, a) && live_worker_count(ctx_, a) > 0
+            ? ctx_.perf->estimate(t, a)
+            : 0.0;
+  }
 
   // Algorithm 1: insert into the heap of every memory node whose (live)
   // workers can execute the task, with the (gain, criticality) scores.
-  for (std::size_t mi = 0; mi < ctx_.platform->num_nodes(); ++mi) {
+  std::uint64_t mask = 0;
+  for (std::size_t mi : target_shards(t)) {
     const MemNodeId m{mi};
-    if (live_workers_of_node(ctx_, m) == 0) continue;
     const ArchType a = ctx_.platform->node_arch(m);
-    if (!ctx_.graph->can_exec(t, a)) continue;
     MP_ASSERT(live_worker_count(ctx_, a) > 0);
 
     const double gain = gain_.gain(ctx_, t, a);
     const double prio = cfg_.use_nod ? nod_.normalized(ctx_, t, m) : 0.0;
-    heaps_[mi].insert(t, gain, prio);
-    ++ready_count_[mi];
+    Shard& sh = shards_[mi];
+    sh.heap.insert(t, gain, prio);
+    ready_count_[mi].fetch_add(1);
     rec.nodes.push_back(m);
-    inserted_somewhere = true;
+    mask |= node_bit(m);
+    sh.epoch.fetch_add(1);  // wait_for_work predicate sees the insert
 
     if (a == best) {  // normalized_speedup(t,a) == 1
-      const double d = ctx_.perf->estimate(t, a);
-      brw_[mi] += d;
-      added.emplace_back(m, d);
+      const double d = rec.delta[arch_index(a)];
+      brw_[mi].add(d);
+      rec.brw_added.emplace_back(m, d);
     }
 
     if (ctx_.observer != nullptr) {
       SchedEvent e;
-      e.time = obs_time();
+      e.time = t_now;
       e.kind = SchedEventKind::Push;
       e.task = t;
       e.node = m;
       e.gain = gain;
       e.prio = prio;
-      e.best_remaining_work = brw_[mi];
-      e.heap_depth = static_cast<std::uint32_t>(heaps_[mi].size());
+      e.best_remaining_work = brw_[mi].load();
+      e.heap_depth = static_cast<std::uint32_t>(sh.heap.size());
       ctx_.observer->record(e);
       sample_heap_depth(m, e.time);
     }
   }
-  MP_CHECK_MSG(inserted_somewhere, "ready task has no executable memory node");
-  ++pending_;
+  MP_CHECK_MSG(mask != 0, "ready task has no executable memory node");
+  st.live_mask.store(mask);
+  st.phase.store(kPending);
+  pending_.fetch_add(1);
+}
+
+void MultiPrioScheduler::push(TaskId t) {
+  verify_point("multiprio.push", this);
+  ensure_task_capacity(t.index() + 1);
+  const double t_now = ctx_.observer != nullptr ? obs_time() : 0.0;
+  const std::vector<std::size_t> targets = target_shards(t);
+  MP_CHECK_MSG(!targets.empty(), "push: task has no executable memory node");
+  std::vector<std::size_t> eligible;
+  {
+    AscendingShardLocks locks(*this, targets);
+    push_locked(t, t_now);
+    // Eligibility is judged while the record is stable (under the locks): a
+    // parked worker is only worth waking if its arch could pop `t` right
+    // now — pop_condition is exactly that judgement, and waking a worker it
+    // would refuse is a futex round trip for a guaranteed failed pop.
+    for (std::size_t mi : targets)
+      if (pop_condition(t, ctx_.platform->node_arch(MemNodeId{mi}), nullptr))
+        eligible.push_back(mi);
+  }
+  notify_one_waiter(eligible);
+}
+
+void MultiPrioScheduler::push_batch(const std::vector<TaskId>& ts) {
+  if (ts.empty()) return;
+  verify_point("multiprio.push_batch", this);
+  MP_CHECK(num_shards_ > 0);
+  const double t_now = ctx_.observer != nullptr ? obs_time() : 0.0;
+  // One grouped acquisition: the union of every task's target shards, taken
+  // once in ascending order, then every insert — a completion that releases
+  // k tasks costs one lock round instead of k.
+  std::size_t max_index = 0;
+  for (TaskId t : ts) max_index = std::max(max_index, t.index());
+  ensure_task_capacity(max_index + 1);
+  std::vector<std::size_t> inserted(num_shards_, 0);
+  std::vector<std::size_t> union_targets;
+  for (TaskId t : ts)
+    for (std::size_t mi : target_shards(t)) {
+      union_targets.push_back(mi);
+      ++inserted[mi];
+    }
+  std::vector<std::vector<std::size_t>> eligible(ts.size());
+  {
+    AscendingShardLocks locks(*this, union_targets);
+    for (TaskId t : ts) push_locked(t, t_now);
+    // Same wake-eligibility judgement as push(), per task in the batch.
+    for (std::size_t i = 0; i < ts.size(); ++i)
+      for (std::size_t mi : target_shards(ts[i]))
+        if (pop_condition(ts[i], ctx_.platform->node_arch(MemNodeId{mi}), nullptr))
+          eligible[i].push_back(mi);
+  }
+  // One wakeup per task, not per duplicate: each task is one unit of work,
+  // so waking every eligible shard buys k-1 guaranteed failed pops.
+  for (const std::vector<std::size_t>& shards : eligible) notify_one_waiter(shards);
 }
 
 bool MultiPrioScheduler::pop_condition(TaskId t, ArchType a, double* brw_out) const {
-  const auto it = pushed_.find(t);
-  // Always-on: under the skipped-lock mutation a racing worker may have
-  // taken `t` between candidate selection and this judgement.
-  MP_CHECK_MSG(it != pushed_.end(), "pop_condition on a task with no push record");
-  const ArchType best = it->second.best_arch;
+  MP_CHECK(t.index() < states_.size());
+  const TaskState& st = states_[t.index()];
+  // Always-on: under a skipped-lock mutation a racing rebuild can have
+  // retired `t` between candidate selection and this judgement.
+  MP_CHECK_MSG(st.phase.load() != kIdle, "pop_condition on a task with no push record");
+  const ArchType best = st.rec.best_arch;
   if (a == best) return true;
   double brw_best = 0.0;
-  for (MemNodeId m : ctx_.platform->nodes_of_arch(best)) brw_best += brw_[m.index()];
+  for (MemNodeId m : ctx_.platform->nodes_of_arch(best))
+    brw_best += brw_[m.index()].load();
   if (cfg_.normalize_brw_by_workers) {
     brw_best /= static_cast<double>(std::max<std::size_t>(1, live_worker_count(ctx_, best)));
   }
   if (brw_out != nullptr) *brw_out = brw_best;
   // The best workers hold more queued best-affinity work than it would cost
   // this slower worker to run the task: diverting it keeps the DAG moving.
-  return brw_best > ctx_.perf->estimate(t, a);
+  return brw_best > st.rec.delta[arch_index(a)];
 }
 
 void MultiPrioScheduler::drop_taken(ScoredHeap& heap) {
   while (auto top = heap.top()) {
-    if (!taken_[top->task.index()]) return;
+    if (states_[top->task.index()].phase.load() != kTaken) return;
     heap.pop_top();
     if (m_stale_discards_ != nullptr) m_stale_discards_->inc();
   }
@@ -112,7 +310,7 @@ void MultiPrioScheduler::drop_taken(ScoredHeap& heap) {
 
 std::optional<MultiPrioScheduler::Candidate> MultiPrioScheduler::select_candidate(
     MemNodeId m) {
-  ScoredHeap& heap = heaps_[m.index()];
+  ScoredHeap& heap = shards_[m.index()].heap;
   drop_taken(heap);
   if (heap.empty()) return std::nullopt;
   const HeapEntry top = *heap.top();
@@ -128,7 +326,7 @@ std::optional<MultiPrioScheduler::Candidate> MultiPrioScheduler::select_candidat
     if (e.gain < top.gain - cfg_.epsilon) return false;
     if (seen >= cfg_.locality_n) return false;
     ++seen;
-    if (taken_[e.task.index()]) return true;
+    if (states_[e.task.index()].phase.load() == kTaken) return true;
     const double local = ls_sdh2(ctx_, m, e.task);
     if (local > best_local) {
       best_local = local;
@@ -140,67 +338,82 @@ std::optional<MultiPrioScheduler::Candidate> MultiPrioScheduler::select_candidat
                    best_entry.task != top.task};
 }
 
-void MultiPrioScheduler::take(TaskId t, MemNodeId from_node, ArchType taker) {
+bool MultiPrioScheduler::try_take(TaskId t, MemNodeId from_node, ArchType taker) {
   verify_point("multiprio.take", this);
-  taken_[t.index()] = true;
-  // Always-on (not MP_ASSERT): under the skipped-lock mutation a racing
-  // worker can have taken `t` while this one sat at the yield point above;
-  // proceeding on the end iterator would be UB before any probe could fire.
-  auto it = pushed_.find(t);
-  MP_CHECK_MSG(it != pushed_.end(), "take of a task with no push record");
-  // The entry on from_node leaves now; duplicates on the record's other
-  // nodes stay in their heaps as lazy stale entries (drop_taken sweeps
-  // them), but they stop being *ready* work right here — retire the whole
-  // record's ready counts in one go.
-  for (MemNodeId m : it->second.nodes) {
-    MP_ASSERT(ready_count_[m.index()] > 0);
-    --ready_count_[m.index()];
+  TaskState& st = state_of(t);
+  // The single atomic commit point of a pop: whoever flips Pending→Taken
+  // owns the task; every other accounting step below is made exactly-once
+  // by the live-mask bits.
+  std::uint8_t expect = kPending;
+  if (!st.phase.compare_exchange(expect, kTaken)) {
+    // Always-on: only a racing *taker* may win the commit; any other phase
+    // here means a rebuild ran concurrently with this pop (skipped lock).
+    MP_CHECK_MSG(expect == kTaken, "take lost its commit race to a non-take");
+    return false;  // candidate went stale under us; the caller reselects
+  }
+  const PushRecord& rec = st.rec;
+  // Grab every still-live duplicate slot wholesale; racing evictors that
+  // already cleared their bit have retired their own node's ready count.
+  const std::uint64_t mask = st.live_mask.exchange(0);
+  for (MemNodeId m : rec.nodes) {
+    if ((mask & node_bit(m)) == 0) continue;
+    const std::int64_t prev = ready_count_[m.index()].fetch_sub(1);
+    MP_CHECK_MSG(prev > 0, "per-node ready count underflow on take");
   }
   // Algorithm 2 debits best_remaining_work by δ(t, w_a) — the *taking*
-  // worker's time. For a best-arch pop this reverses the PUSH credit; for a
-  // diversion it debits more, throttling cascades of slow-worker steals.
-  // Seeded mutation SkipBrwDecrement leaves the ledger uncorrected — the
-  // explorer's brw upper-bound invariant must flag it (constant-false
-  // outside MP_VERIFY builds).
-  const bool diverted = taker != it->second.best_arch;
-  const double debit = diverted ? ctx_.perf->estimate(t, taker) : 0.0;
+  // worker's time (as judged at PUSH). For a best-arch pop this reverses the
+  // PUSH credit; for a diversion it debits more, throttling cascades of
+  // slow-worker steals. Seeded mutation SkipBrwDecrement leaves the ledger
+  // uncorrected — the explorer's brw upper-bound invariant must flag it
+  // (constant-false outside MP_VERIFY builds).
+  const bool diverted = taker != rec.best_arch;
+  const double debit = diverted ? rec.delta[arch_index(taker)] : 0.0;
   if (!verify::mutation_active(verify::Mutation::SkipBrwDecrement)) {
-    for (const auto& [m, credited] : it->second.brw_added) {
-      brw_[m.index()] -= diverted ? std::max(debit, credited) : credited;
-      if (brw_[m.index()] < 0.0) brw_[m.index()] = 0.0;
-    }
+    for (const auto& [m, credited] : rec.brw_added)
+      brw_[m.index()].sub_clamped(diverted ? std::max(debit, credited) : credited);
   }
-  pushed_.erase(it);
-  MP_ASSERT(pending_ > 0);
-  --pending_;
-  // Last: ScoredHeap::remove has a yield point, so no iterator or reference
-  // into pushed_/heaps_ may be live across it (the mutated runs interleave
-  // here). A racing taker having swept the stale entry trips remove's own
-  // always-on presence check — which is the oracle doing its job.
-  heaps_[from_node.index()].remove(t);
+  const std::size_t prev_pending = pending_.fetch_sub(1);
+  MP_CHECK_MSG(prev_pending > 0, "pending count underflow on take");
+  // Last: remove the popped entry from this node's heap. Under correct
+  // locking we hold from_node's shard lock and the entry is present; under
+  // a skipped-lock mutation a racing sweeper may have removed it first —
+  // ScoredHeap::remove's own always-on presence check is the oracle then.
+  shards_[from_node.index()].heap.remove(t);
+  return true;
 }
 
 std::optional<TaskId> MultiPrioScheduler::pop(WorkerId w) {
   verify_point("multiprio.pop", this);
+  MP_CHECK(w.index() < ctx_.platform->num_workers());
   const Worker& worker = ctx_.platform->worker(w);
   const MemNodeId m = worker.node;
   const ArchType a = worker.arch;
+  // One clock read per pop, before the shard lock: observer timestamps must
+  // not lengthen the critical section.
+  const double t_now = ctx_.observer != nullptr ? obs_time() : 0.0;
 
+  // Seeded mutation SkipNodeLock: run the whole POP path without this
+  // node's shard lock, so same-node workers (and a locked PUSH) interleave
+  // inside candidate selection / eviction / take. Constant-false outside
+  // MP_VERIFY builds.
+  const bool skip_lock = verify::mutation_active(verify::Mutation::SkipNodeLock);
+  if (!skip_lock) lock_shard(m.index());
+  std::optional<TaskId> out;
   for (std::size_t tries = 0; tries <= cfg_.max_tries; ++tries) {
     const std::optional<Candidate> cand = select_candidate(m);
-    if (!cand) return std::nullopt;
+    if (!cand) break;
     const TaskId t = cand->entry.task;
     verify_point("multiprio.pop.candidate", this);
     double brw_judged = 0.0;
     if (!cfg_.use_eviction || pop_condition(t, a, &brw_judged)) {
-      take(t, m, a);
+      if (!try_take(t, m, a)) continue;  // lost the commit race; reselect
       if (ctx_.observer != nullptr) {
         if (cfg_.use_locality && m_window_scans_ != nullptr) {
           m_window_scans_->inc();
           if (cand->window_pick) m_window_hits_->inc();
         }
         SchedEvent e;
-        e.time = obs_time();
+        e.time = t_now;
         e.kind = SchedEventKind::Pop;
         e.task = t;
         e.worker = w;
@@ -208,35 +421,39 @@ std::optional<TaskId> MultiPrioScheduler::pop(WorkerId w) {
         e.gain = cand->entry.gain;
         e.prio = cand->entry.prio;
         e.locality = cand->locality;
-        e.best_remaining_work = brw_[m.index()];
-        e.heap_depth = static_cast<std::uint32_t>(heaps_[m.index()].size());
+        e.best_remaining_work = brw_[m.index()].load();
+        e.heap_depth = static_cast<std::uint32_t>(shards_[m.index()].heap.size());
         e.attempt = static_cast<std::uint32_t>(tries);
         ctx_.observer->record(e);
         sample_heap_depth(m, e.time);
       }
-      return t;
+      out = t;
+      break;
     }
     // Eviction mechanism: remove the task from this node's heap only; its
     // duplicates in the best architecture's heaps keep it schedulable (the
     // pop_condition is always true there, so the best heap never evicts).
-    auto rec_it = pushed_.find(t);
-    MP_CHECK_MSG(rec_it != pushed_.end(), "evicting a task with no push record");
-    MP_ASSERT(a != rec_it->second.best_arch);
-    ++pop_rejects_;
-    ++evictions_;
-    auto& rec_nodes = rec_it->second.nodes;
-    const auto node_it = std::find(rec_nodes.begin(), rec_nodes.end(), m);
-    MP_CHECK_MSG(node_it != rec_nodes.end(),
-                 "evicting an entry this node does not hold");
-    rec_nodes.erase(node_it);
-    MP_ASSERT(ready_count_[m.index()] > 0);
-    --ready_count_[m.index()];
-    // Heap removal last: ScoredHeap::remove yields, so rec_it/rec_nodes must
-    // not be live across it (see take()).
-    heaps_[m.index()].remove(t);
+    TaskState& st = state_of(t);
+    MP_ASSERT(a != st.rec.best_arch);
+    const std::uint64_t bit = node_bit(m);
+    const std::uint64_t prev = st.live_mask.fetch_and(~bit);
+    if ((prev & bit) == 0) {
+      // A take on another shard retired this slot between the verdict and
+      // the bit-clear: the entry is a stale duplicate now, not an eviction.
+      shards_[m.index()].heap.remove(t);
+      if (m_stale_discards_ != nullptr) m_stale_discards_->inc();
+      continue;
+    }
+    const std::int64_t prev_rc = ready_count_[m.index()].fetch_sub(1);
+    MP_CHECK_MSG(prev_rc > 0, "per-node ready count underflow on evict");
+    pop_rejects_.fetch_add(1);
+    evictions_.fetch_add(1);
+    // Heap removal before the events so heap_depth reports the post-evict
+    // depth, as the coarse protocol always did.
+    shards_[m.index()].heap.remove(t);
     if (ctx_.observer != nullptr) {
       SchedEvent e;
-      e.time = obs_time();
+      e.time = t_now;
       e.kind = SchedEventKind::PopReject;
       e.task = t;
       e.worker = w;
@@ -245,7 +462,7 @@ std::optional<TaskId> MultiPrioScheduler::pop(WorkerId w) {
       e.prio = cand->entry.prio;
       e.locality = cand->locality;
       e.best_remaining_work = brw_judged;  // the backlog the verdict read
-      e.heap_depth = static_cast<std::uint32_t>(heaps_[m.index()].size());
+      e.heap_depth = static_cast<std::uint32_t>(shards_[m.index()].heap.size());
       e.attempt = static_cast<std::uint32_t>(tries);
       ctx_.observer->record(e);
       e.kind = SchedEventKind::Evict;  // same payload, heap-removal view
@@ -253,21 +470,31 @@ std::optional<TaskId> MultiPrioScheduler::pop(WorkerId w) {
       sample_heap_depth(m, e.time);
     }
   }
-  return std::nullopt;
+  if (!skip_lock) unlock_shard(m.index());
+  return out;
 }
 
 void MultiPrioScheduler::repush(TaskId t) {
   verify_point("multiprio.repush", this);
-  MP_CHECK_MSG(t.index() < taken_.size() && taken_[t.index()],
+  MP_CHECK_MSG(t.index() < states_.size() &&
+                   states_[t.index()].phase.load() == kTaken,
                "repush of a task that was never popped");
-  // take() removed the task only from the heap it was popped from; lazy
-  // duplicates may still sit in other heaps. Flush them so push() starts
-  // from a clean slate, as on first push. Their ready counts were already
-  // retired when the task was taken — stale entries are not ready work.
-  for (std::size_t mi = 0; mi < heaps_.size(); ++mi)
-    if (heaps_[mi].contains(t)) heaps_[mi].remove(t);
-  taken_[t.index()] = false;
-  push(t);
+  const double t_now = ctx_.observer != nullptr ? obs_time() : 0.0;
+  const std::vector<std::size_t> targets = target_shards(t);
+  {
+    // All shards, not just the new targets: take() removed the task only
+    // from the heap it was popped from, so lazy stale duplicates may sit in
+    // any heap. Flush them so push starts from a clean slate, as on first
+    // push. Their ready counts were already retired when the task was taken
+    // — stale entries are not ready work.
+    AscendingShardLocks locks(*this, all_shard_indices());
+    for (std::size_t mi = 0; mi < num_shards_; ++mi)
+      if (shards_[mi].heap.contains(t)) shards_[mi].heap.remove(t);
+    states_[t.index()].phase.store(kIdle);
+    states_[t.index()].live_mask.store(0);
+    push_locked(t, t_now);
+  }
+  for (std::size_t mi : targets) notify_shard(mi, 1);
 }
 
 std::vector<TaskId> MultiPrioScheduler::notify_worker_removed(WorkerId w) {
@@ -279,95 +506,171 @@ std::vector<TaskId> MultiPrioScheduler::notify_worker_removed(WorkerId w) {
   // (the pop_condition already normalizes by the live worker count).
   if (live_workers_of_node(ctx_, dead) > 0) return {};
 
-  std::vector<TaskId> survivors;
+  const double t_now = ctx_.observer != nullptr ? obs_time() : 0.0;
   std::vector<TaskId> orphans;
-  for (const auto& [t, rec] : pushed_)
-    (task_has_live_worker(ctx_, t) ? survivors : orphans).push_back(t);
-  // pushed_ iteration order is unspecified; sort so the rebuilt heaps (and
-  // the heap-sequence tiebreaks inside them) are deterministic.
-  std::sort(survivors.begin(), survivors.end());
-  std::sort(orphans.begin(), orphans.end());
+  std::vector<std::size_t> inserted(num_shards_, 0);
+  {
+    AscendingShardLocks locks(*this, all_shard_indices());
+    std::vector<TaskId> survivors;
+    // Index order — deterministic rebuild (heap-sequence tiebreaks included).
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+      if (states_[i].phase.load() != kPending) continue;
+      const TaskId t{i};
+      (task_has_live_worker(ctx_, t) ? survivors : orphans).push_back(t);
+    }
 
-  for (ScoredHeap& h : heaps_) h.clear();
-  ready_count_.assign(ready_count_.size(), 0);
-  brw_.assign(brw_.size(), 0.0);
-  pushed_.clear();
-  pending_ = 0;
-  // The normalization trackers restart so scores reflect the shrunken
-  // platform rather than contrasts measured against dead architectures.
-  gain_.reset();
-  nod_.reset();
-  for (TaskId t : survivors) push(t);
+    for (std::size_t mi = 0; mi < num_shards_; ++mi) {
+      shards_[mi].heap.clear();
+      ready_count_[mi].store(0);
+      brw_[mi].store(0.0);
+    }
+    for (TaskId t : survivors) {
+      states_[t.index()].phase.store(kIdle);
+      states_[t.index()].live_mask.store(0);
+    }
+    for (TaskId t : orphans) {
+      states_[t.index()].phase.store(kIdle);
+      states_[t.index()].live_mask.store(0);
+    }
+    pending_.store(0);
+    // The normalization trackers restart so scores reflect the shrunken
+    // platform rather than contrasts measured against dead architectures.
+    gain_.reset();
+    nod_.reset();
+    for (TaskId t : survivors) {
+      for (std::size_t mi : target_shards(t)) ++inserted[mi];
+      push_locked(t, t_now);
+    }
+  }
+  for (std::size_t mi = 0; mi < num_shards_; ++mi)
+    notify_shard(mi, inserted[mi]);
   return orphans;
+}
+
+std::uint64_t MultiPrioScheduler::work_epoch(WorkerId w) const {
+  return shards_[ctx_.platform->worker(w).node.index()].epoch.load();
+}
+
+void MultiPrioScheduler::wait_for_work(WorkerId w, std::uint64_t seen,
+                                       double timeout_s,
+                                       const std::function<bool()>& cancel) {
+  MP_CHECK(w.index() < ctx_.platform->num_workers());
+  if (!cfg_.sharded) return;
+  Shard& sh = shards_[ctx_.platform->worker(w).node.index()];
+  std::unique_lock<Mutex> lk(sh.order_mu);  // shard-lock(asc)
+  // Lost-wakeup-free: `seen` was read before the caller's failed pop, the
+  // epoch is bumped under this lock by every insert, and the predicate is
+  // re-evaluated under the lock. The timeout is the engine's anti-hang
+  // bound; spurious returns just cost one retried pop. The waiter count
+  // bracketing the wait (under the lock) is what notify_shard's futex gate
+  // reads.
+  sh.waiters.fetch_add(1);
+  (void)sh.cv.wait_for(lk, std::chrono::duration<double>(timeout_s), [&] {
+    return cancel() || sh.epoch.load() != seen;
+  });
+  sh.waiters.fetch_sub(1);
+}
+
+void MultiPrioScheduler::interrupt_waiters() {
+  MP_CHECK(num_shards_ > 0);
+  if (!cfg_.sharded) return;
+  for (std::size_t mi = 0; mi < num_shards_; ++mi) shards_[mi].cv.notify_all();
+  if (m_wakeups_ != nullptr) m_wakeups_->inc();
 }
 
 std::size_t MultiPrioScheduler::ready_tasks_count(MemNodeId m) const {
   MP_CHECK(m.index() < ready_count_.size());
-  return ready_count_[m.index()];
+  return static_cast<std::size_t>(std::max<std::int64_t>(0, ready_count_[m.index()].load()));
 }
 
 double MultiPrioScheduler::best_remaining_work(MemNodeId m) const {
   MP_CHECK(m.index() < brw_.size());
-  return brw_[m.index()];
+  return brw_[m.index()].load();
 }
 
 const ScoredHeap& MultiPrioScheduler::heap(MemNodeId m) const {
-  MP_CHECK(m.index() < heaps_.size());
-  return heaps_[m.index()];
+  MP_CHECK(m.index() < num_shards_);
+  return shards_[m.index()].heap;
 }
+
+#ifdef MP_VERIFY
+bool MultiPrioScheduler::verify_quiescent() const {
+  for (std::size_t mi = 0; mi < num_shards_; ++mi)
+    if (verify::mutex_is_held(shards_[mi].order_mu)) return false;  // shard-lock(asc)
+  return true;
+}
+
+std::vector<const Mutex*> MultiPrioScheduler::verify_shard_mutexes() const {
+  std::vector<const Mutex*> out;
+  if (!cfg_.sharded) return out;
+  out.reserve(num_shards_);
+  for (std::size_t mi = 0; mi < num_shards_; ++mi)
+    out.push_back(&shards_[mi].order_mu);  // shard-lock(asc)
+  return out;
+}
+#endif
 
 bool MultiPrioScheduler::check_invariants(std::string* why) const {
   auto fail = [why](const std::string& msg) {
     if (why != nullptr) *why = msg;
     return false;
   };
-  const std::size_t n_nodes = heaps_.size();
+  // Quiescent audit: take every shard lock in ascending order (no-op in
+  // coarse mode; uncontended passthrough locks inside an explorer probe,
+  // which only runs once verify_quiescent() said nobody holds a shard).
+  AscendingShardLocks locks(*this, all_shard_indices());
+  const std::size_t n_nodes = num_shards_;
 
-  if (pending_ != pushed_.size())
-    return fail("pending_count " + std::to_string(pending_) + " != " +
-                std::to_string(pushed_.size()) + " push records");
-
-  std::vector<std::size_t> expect_ready(n_nodes, 0);
+  std::size_t n_pending = 0;
+  std::vector<std::int64_t> expect_ready(n_nodes, 0);
   std::vector<double> credit_sum(n_nodes, 0.0);
-  for (const auto& [t, rec] : pushed_) {
-    const std::string tag = "task " + std::to_string(t.value());
-    if (t.index() < taken_.size() && taken_[t.index()])
-      return fail(tag + " is pending but flagged taken");
-    if (rec.nodes.empty())
-      return fail(tag + " is pending but sits in no heap");
-    for (MemNodeId m : rec.nodes) {
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    const TaskState& st = states_[i];
+    if (st.phase.load() != kPending) continue;
+    ++n_pending;
+    const std::string tag = "task " + std::to_string(i);
+    const std::uint64_t mask = st.live_mask.load();
+    if (mask == 0) return fail(tag + " is pending but sits in no heap");
+    std::uint64_t nodes_mask = 0;
+    for (MemNodeId m : st.rec.nodes) {
       if (m.index() >= n_nodes) return fail(tag + " records an unknown node");
-      if (!heaps_[m.index()].contains(t))
+      nodes_mask |= node_bit(m);
+      if ((mask & node_bit(m)) == 0) continue;  // evicted slot, retired
+      if (!shards_[m.index()].heap.contains(TaskId{i}))
         return fail(tag + " records node " + std::to_string(m.value()) +
                     " but that heap lacks it");
       ++expect_ready[m.index()];
     }
-    for (const auto& [m, credited] : rec.brw_added) {
-      if (std::find(rec.nodes.begin(), rec.nodes.end(), m) == rec.nodes.end())
+    if ((mask & ~nodes_mask) != 0)
+      return fail(tag + " live mask names a node outside its push set");
+    for (const auto& [m, credited] : st.rec.brw_added) {
+      if ((mask & node_bit(m)) == 0)
         return fail(tag + " holds a best-arch credit on node " +
                     std::to_string(m.value()) +
                     " it no longer occupies (best heap must never evict)");
       credit_sum[m.index()] += credited;
     }
   }
+  if (pending_.load() != n_pending)
+    return fail("pending_count " + std::to_string(pending_.load()) + " != " +
+                std::to_string(n_pending) + " tasks in Pending phase");
 
   for (std::size_t mi = 0; mi < n_nodes; ++mi) {
     const std::string node = "node " + std::to_string(mi);
-    if (!heaps_[mi].validate()) return fail(node + " heap corrupt");
-    if (ready_count_[mi] != expect_ready[mi])
-      return fail(node + " ready_count " + std::to_string(ready_count_[mi]) +
-                  " != " + std::to_string(expect_ready[mi]) +
-                  " pending entries");
+    const ScoredHeap& h = shards_[mi].heap;
+    if (!h.validate()) return fail(node + " heap corrupt");
+    if (ready_count_[mi].load() != expect_ready[mi])
+      return fail(node + " ready_count " +
+                  std::to_string(ready_count_[mi].load()) + " != " +
+                  std::to_string(expect_ready[mi]) + " pending entries");
     bool entry_ok = true;
     TaskId bad{};
-    heaps_[mi].for_top([&](const HeapEntry& e) {
-      const bool stale =
-          e.task.index() < taken_.size() && taken_[e.task.index()];
-      const auto it = pushed_.find(e.task);
-      const bool live =
-          it != pushed_.end() &&
-          std::find(it->second.nodes.begin(), it->second.nodes.end(),
-                    MemNodeId{mi}) != it->second.nodes.end();
+    h.for_top([&](const HeapEntry& e) {
+      const TaskState& st = states_[e.task.index()];
+      const std::uint8_t phase = st.phase.load();
+      const bool stale = phase == kTaken;
+      const bool live = phase == kPending &&
+                        (st.live_mask.load() & node_bit(MemNodeId{mi})) != 0;
       if (stale == live) {  // exactly one must hold
         entry_ok = false;
         bad = e.task;
@@ -382,9 +685,10 @@ bool MultiPrioScheduler::check_invariants(std::string* why) const {
     // the ledger clamps at zero) but never fall short: the ledger can only
     // sit at or below the credits still outstanding.
     const double tol = 1e-9 * (1.0 + credit_sum[mi]);
-    if (!(brw_[mi] >= 0.0) || !(brw_[mi] <= credit_sum[mi] + tol)) {
+    const double ledger = brw_[mi].load();
+    if (!(ledger >= 0.0) || !(ledger <= credit_sum[mi] + tol)) {
       std::ostringstream os;
-      os << node << " best_remaining_work " << brw_[mi]
+      os << node << " best_remaining_work " << ledger
          << " outside [0, " << credit_sum[mi] << "] pending-credit bound";
       return fail(os.str());
     }

@@ -8,11 +8,23 @@
 // architecture's accumulated remaining work exceeds the task's estimated
 // time on this worker; otherwise the task is evicted from this node's heap
 // (it always survives in the best architecture's heaps).
+//
+// Sharded locking (the default, cfg.sharded): the per-node heaps that the
+// paper introduces for locality double as *lock shards*. Each memory node
+// owns one mp::Mutex + mp::CondVar; a POP on node m touches only m's lock,
+// a PUSH takes the (few) target-node locks in ascending-node order, and the
+// cross-shard state — the per-task taken flag, the per-record live-node
+// mask, ready counters and the best_remaining_work ledger — lives in
+// RelaxedAtomics whose single commit point is the Pending→Taken CAS. With
+// cfg.sharded = false every lock helper is a no-op and the caller must
+// serialize all calls (the historical coarse contract); both modes run the
+// byte-identical decision code.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/gain.hpp"
@@ -20,11 +32,13 @@
 #include "core/nod.hpp"
 #include "core/scored_heap.hpp"
 #include "runtime/scheduler.hpp"
+#include "verify/sync.hpp"
 
 namespace mp {
 
 class Counter;
 class Gauge;
+class Histogram;
 
 struct MultiPrioConfig {
   /// Locality window size (paper: n = 10).
@@ -45,6 +59,9 @@ struct MultiPrioConfig {
   /// its GPUs — see bench_ablation_multiprio); per-worker normalization is
   /// the behaviour consistent with the paper's results and is the default.
   bool normalize_brw_by_workers = true;
+  /// Per-memory-node locking (SchedConcurrency::Internal). Off = the
+  /// historical externally-serialized contract ("multiprio-coarse").
+  bool sharded = true;
 };
 
 class MultiPrioScheduler final : public Scheduler {
@@ -52,6 +69,7 @@ class MultiPrioScheduler final : public Scheduler {
   explicit MultiPrioScheduler(SchedContext ctx, MultiPrioConfig config = {});
 
   void push(TaskId t) override;                        // Algorithm 1
+  void push_batch(const std::vector<TaskId>& ts) override;
   [[nodiscard]] std::optional<TaskId> pop(WorkerId w) override;  // Algorithm 2
 
   /// Retry of a popped-but-unfinished task: clears the taken flag, then
@@ -66,31 +84,51 @@ class MultiPrioScheduler final : public Scheduler {
   /// of every heap and lost. Tasks with no live capable worker are returned.
   [[nodiscard]] std::vector<TaskId> notify_worker_removed(WorkerId w) override;
 
-  [[nodiscard]] std::string name() const override { return "multiprio"; }
-  [[nodiscard]] std::size_t pending_count() const override { return pending_; }
+  [[nodiscard]] SchedConcurrency concurrency() const override {
+    return cfg_.sharded ? SchedConcurrency::Internal
+                        : SchedConcurrency::ExternalLock;
+  }
+  [[nodiscard]] std::uint64_t work_epoch(WorkerId w) const override;
+  void wait_for_work(WorkerId w, std::uint64_t seen, double timeout_s,
+                     const std::function<bool()>& cancel) override;
+  void interrupt_waiters() override;
+
+  [[nodiscard]] std::string name() const override {
+    return cfg_.sharded ? "multiprio" : "multiprio-coarse";
+  }
+  [[nodiscard]] std::size_t pending_count() const override {
+    return pending_.load();
+  }
+  /// NOT thread-safe against sharded pushes/pops (reads the heap without the
+  /// shard lock); meant for single-threaded engines (SimEngine).
   [[nodiscard]] bool has_work_hint(WorkerId w) const override {
-    return !heaps_[ctx_.platform->worker(w).node.index()].empty();
+    return !shards_[ctx_.platform->worker(w).node.index()].heap.empty();
   }
 
   // --- introspection (tests / ablation benches) ---------------------------
 
   [[nodiscard]] std::size_t ready_tasks_count(MemNodeId m) const;
   [[nodiscard]] double best_remaining_work(MemNodeId m) const;
-  [[nodiscard]] std::size_t eviction_total() const { return evictions_; }
-  [[nodiscard]] std::size_t pop_condition_rejects() const { return pop_rejects_; }
+  [[nodiscard]] std::size_t eviction_total() const { return evictions_.load(); }
+  [[nodiscard]] std::size_t pop_condition_rejects() const {
+    return pop_rejects_.load();
+  }
   /// Is `t` currently pushed and not yet popped (invariant checks)?
-  [[nodiscard]] bool is_pending(TaskId t) const { return pushed_.count(t) != 0; }
+  [[nodiscard]] bool is_pending(TaskId t) const {
+    return t.index() < states_.size() &&
+           states_[t.index()].phase.load() == kPending;
+  }
   [[nodiscard]] const GainTracker& gain_tracker() const { return gain_; }
   [[nodiscard]] const ScoredHeap& heap(MemNodeId m) const;
 
   /// Full structural-consistency audit of the scheduler state — the oracle
   /// the interleaving explorer evaluates at every quiescent point, and a
-  /// post-run check for tests. Verifies, in O(pending × nodes):
-  ///  - pending_count() == number of PushRecords, and no pending task is
-  ///    flagged taken;
-  ///  - every pending task sits in ≥ 1 heap, exactly the heaps its record
-  ///    names, and its best_remaining_work credits were granted on a subset
-  ///    of those nodes (the best heap never evicts);
+  /// post-run check for tests. Takes every shard lock in ascending order
+  /// (no-op when coarse or probing), then verifies in O(pending × nodes):
+  ///  - pending_count() == number of Pending tasks, none of them Taken;
+  ///  - every pending task sits in ≥ 1 heap, exactly the heaps its record's
+  ///    live-node mask names, and its best_remaining_work credits were
+  ///    granted on live nodes only (the best heap never evicts);
   ///  - per-node ready counts equal the number of pending tasks holding an
   ///    entry there, and each heap's validate() passes;
   ///  - every heap entry is either pending there or a lazily-dropped stale
@@ -101,7 +139,79 @@ class MultiPrioScheduler final : public Scheduler {
   /// Returns false and describes the first failure in `*why` (if non-null).
   [[nodiscard]] bool check_invariants(std::string* why = nullptr) const;
 
+#ifdef MP_VERIFY
+  /// Quiescence gate for the executor's invariant probes: true when no
+  /// managed thread is suspended inside a shard critical section, i.e. the
+  /// sharded state is externally consistent and safe to audit.
+  [[nodiscard]] bool verify_quiescent() const;
+  /// The shard mutexes, so the executor can register a probe on each (their
+  /// releases are exactly the moments sharded state becomes visible).
+  [[nodiscard]] std::vector<const Mutex*> verify_shard_mutexes() const;
+#endif
+
  private:
+  // --- per-task lifecycle ---------------------------------------------------
+  // phase is the single atomic commit point: a successful Pending→Taken CAS
+  // *is* the take. The live-node mask retires heap-slot ownership bit by bit
+  // (eviction clears one bit, take grabs the remainder wholesale); whoever
+  // clears a bit owns that node's ready-count decrement, so the counts are
+  // maintained exactly once even when evictors race a taker.
+  static constexpr std::uint8_t kIdle = 0;     ///< never pushed / rebuilt away
+  static constexpr std::uint8_t kPending = 1;  ///< pushed, not yet taken
+  static constexpr std::uint8_t kTaken = 2;    ///< popped (or retired)
+
+  /// Push-time state per task: the arch judged fastest at PUSH and the δ
+  /// estimates cached then (the pop_condition must use the same verdicts —
+  /// live δ estimates can drift during real execution, and a drifting
+  /// "best" could evict a task from every heap and lose it), plus the brw
+  /// contributions to reverse at POP. `nodes` / `brw_added` are immutable
+  /// between pushes; `live_mask` (bit = node index) is the mutable view of
+  /// which heaps still hold the task as *ready* work.
+  struct PushRecord {
+    ArchType best_arch = ArchType::CPU;
+    std::array<double, kNumArchTypes> delta{};
+    std::vector<std::pair<MemNodeId, double>> brw_added;
+    std::vector<MemNodeId> nodes;  // ascending node order
+  };
+  struct TaskState {
+    RelaxedAtomic<std::uint8_t> phase{kIdle};
+    RelaxedAtomic<std::uint64_t> live_mask{0};
+    PushRecord rec;
+  };
+
+  /// A memory node's lock shard: the heap it owns, its condvar for parked
+  /// workers, and the push counter the wait protocol is keyed on.
+  struct Shard {
+    mutable Mutex order_mu;  // shard-lock(asc) — acquire only via the tagged helpers below
+    CondVar cv;
+    ScoredHeap heap;
+    RelaxedAtomic<std::uint64_t> epoch{0};
+    /// Workers parked on `cv` right now. Written under order_mu; a pusher
+    /// reads it after bumping the epoch under the same lock, so a zero read
+    /// proves no waiter predates the new work and the futex can be skipped
+    /// (an active worker pops the task on its next loop instead).
+    RelaxedAtomic<std::uint32_t> waiters{0};
+  };
+
+  // The ONLY ways scheduler code may acquire shard locks (enforced by
+  // tools/lint.sh rule 3): one shard, or a set of shards in ascending node
+  // order. Both are no-ops in coarse mode.
+  void lock_shard(std::size_t mi) const;
+  void unlock_shard(std::size_t mi) const;
+  /// RAII over an ascending set of shard indices (sorted by the ctor).
+  class AscendingShardLocks {
+   public:
+    AscendingShardLocks(const MultiPrioScheduler& s, std::vector<std::size_t> shards);
+    ~AscendingShardLocks();
+    AscendingShardLocks(const AscendingShardLocks&) = delete;
+    AscendingShardLocks& operator=(const AscendingShardLocks&) = delete;
+
+   private:
+    const MultiPrioScheduler& s_;
+    std::vector<std::size_t> shards_;
+  };
+  [[nodiscard]] std::vector<std::size_t> all_shard_indices() const;
+
   /// pop_condition (Section V-D): true when `a` is the best arch for `t`
   /// (as judged at PUSH), or the best arch's workers are busy enough that
   /// diverting `t` helps. `brw_out`, when non-null, receives the
@@ -124,39 +234,50 @@ class MultiPrioScheduler final : public Scheduler {
   /// Drops entries whose task was already taken from another heap.
   void drop_taken(ScoredHeap& heap);
 
-  void take(TaskId t, MemNodeId from_node, ArchType taker);
+  /// Commit a pop: Pending→Taken CAS, retire ready counts and brw credits,
+  /// remove the entry from `from_node`'s heap. Returns false when a racing
+  /// taker won the CAS (sharded mode only) — the caller reselects.
+  [[nodiscard]] bool try_take(TaskId t, MemNodeId from_node, ArchType taker);
+
+  /// Algorithm 1 for one task; requires every target shard lock held (the
+  /// public entry points take them). `t_now` is the precaptured event
+  /// timestamp (one clock read per push/pop, outside any shard lock).
+  void push_locked(TaskId t, double t_now);
+  /// Target shards of one task = live nodes whose arch can execute it.
+  [[nodiscard]] std::vector<std::size_t> target_shards(TaskId t) const;
+
+  [[nodiscard]] TaskState& state_of(TaskId t);
+  /// Grows the per-task state table for STF graphs that keep submitting
+  /// after construction (under all shard locks — reallocation vs pop reads).
+  void ensure_task_capacity(std::size_t min_tasks);
+  [[nodiscard]] static std::uint64_t node_bit(MemNodeId m) {
+    return std::uint64_t{1} << m.index();
+  }
 
   MultiPrioConfig cfg_;
-  std::vector<ScoredHeap> heaps_;                 // one per memory node
-  std::vector<std::size_t> ready_count_;          // per node
-  std::vector<double> brw_;                       // best_remaining_work per node
-  std::vector<bool> taken_;                       // per task, grown on demand
-  /// Push-time state per pending task: the arch judged fastest at PUSH (the
-  /// pop_condition must use the same verdict — live δ estimates can drift
-  /// during real execution, and a drifting "best" could evict a task from
-  /// every heap and lose it) and the brw contributions to reverse at POP.
-  struct PushRecord {
-    ArchType best_arch = ArchType::CPU;
-    std::vector<std::pair<MemNodeId, double>> brw_added;
-    /// Nodes whose heaps currently hold this task: filled at PUSH, shrunk by
-    /// evictions. take() uses it to retire the per-node ready counts of the
-    /// lazy duplicates it leaves behind, so ready_tasks_count() always means
-    /// "pending tasks with an entry on this node" (stale entries excluded).
-    std::vector<MemNodeId> nodes;
-  };
-  std::unordered_map<TaskId, PushRecord> pushed_;
+  std::unique_ptr<Shard[]> shards_;               // one per memory node
+  std::size_t num_shards_ = 0;
+  std::vector<RelaxedAtomic<std::int64_t>> ready_count_;  // per node
+  std::vector<RelaxedAtomic<double>> brw_;        // best_remaining_work per node
+  std::vector<TaskState> states_;                 // per task, grown on demand
   GainTracker gain_;
   NodNormalizer nod_;
-  std::size_t pending_ = 0;
-  std::size_t evictions_ = 0;
-  std::size_t pop_rejects_ = 0;
+  RelaxedAtomic<std::size_t> pending_{0};
+  RelaxedAtomic<std::size_t> evictions_{0};
+  RelaxedAtomic<std::size_t> pop_rejects_{0};
 
   // --- observability (all null without an attached observer/metrics) -------
   [[nodiscard]] double obs_time() const { return ctx_.now ? ctx_.now() : 0.0; }
   void sample_heap_depth(MemNodeId m, double time);
+  void notify_shard(std::size_t mi, std::size_t inserted);
+  /// Single-wake notify for one pushed task: first eligible shard with a
+  /// parked worker, ascending order. No-op in coarse mode.
+  void notify_one_waiter(const std::vector<std::size_t>& eligible);
   Counter* m_stale_discards_ = nullptr;   ///< lazily dropped taken duplicates
   Counter* m_window_scans_ = nullptr;     ///< pops that ran the locality window
   Counter* m_window_hits_ = nullptr;      ///< ... where the window changed the pick
+  Counter* m_wakeups_ = nullptr;          ///< targeted condvar notifies sent
+  Histogram* m_lock_wait_ = nullptr;      ///< contended shard-lock wait time
   std::vector<Gauge*> m_heap_depth_;      ///< per-node heap depth over time
 };
 

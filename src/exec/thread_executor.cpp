@@ -45,11 +45,22 @@ ExecResult ThreadExecutor::run(const ExecSchedulerFactory& make_scheduler,
 
   // Shim primitives (src/verify/sync.hpp): plain std:: types in normal
   // builds, controlled by the interleaving explorer under MP_VERIFY.
+  //
+  // Lock hierarchy (DESIGN.md §12): mu → push_mu → shard locks (ascending)
+  // → leaves. `mu` guards the engine bookkeeping (deps, executed/attempts,
+  // abandonment, liveness flips, memory placement); `push_mu` serializes
+  // the push side of an internally-locked policy (push/push_batch/repush/
+  // notify_worker_removed) and the HistoryModel writes its readers key off.
   Mutex mu;
+  Mutex push_mu;
   CondVar cv;
   std::uint64_t state_version = 0;
   std::size_t completed = 0;
   std::size_t abandoned = 0;
+  // completed + abandoned, readable without `mu` (internal-mode loop
+  // condition and wait_for_work cancel predicate; a stale read only costs
+  // one extra failed pop).
+  RelaxedAtomic<std::size_t> finished{0};
   const std::size_t total = graph_.num_tasks();
   const double t0 = sync_now_seconds();
   auto elapsed = [t0] { return sync_now_seconds() - t0; };
@@ -73,16 +84,20 @@ ExecResult ThreadExecutor::run(const ExecSchedulerFactory& make_scheduler,
       metrics != nullptr ? &metrics->histogram("exec.pop_latency_s") : nullptr;
   std::unique_ptr<Scheduler> sched = make_scheduler(std::move(ctx));
   MP_CHECK(sched != nullptr);
+  // Internally-locked policies (sharded MultiPrio) take the thin-lock
+  // protocol below; everything else keeps the historical coarse lock.
+  const bool internal = sched->concurrency() == SchedConcurrency::Internal;
 
 #ifdef MP_VERIFY
-  // Structural-invariant oracle: evaluated on every release of `mu` during
-  // an active exploration (no-op otherwise). The state is quiescent there —
-  // the explorer runs one thread at a time and dispatches nobody until the
-  // probes finish.
+  // Structural-invariant oracle: evaluated on every release of a probed
+  // mutex during an active exploration (no-op otherwise). check_invariants()
+  // itself takes every shard lock, so it must only run when no suspended
+  // thread holds one — verify_quiescent() gates the sharded case (always
+  // true for the coarse policy, whose shard locks are never taken).
   auto* probed_multiprio = dynamic_cast<MultiPrioScheduler*>(sched.get());
   auto* probed_recorder = dynamic_cast<RecordingObserver*>(config.observer);
-  verify::ScopedProbe invariant_probe(&mu, [probed_multiprio, probed_recorder] {
-    if (probed_multiprio != nullptr) {
+  auto probe_body = [probed_multiprio, probed_recorder] {
+    if (probed_multiprio != nullptr && probed_multiprio->verify_quiescent()) {
       std::string why;
       if (!probed_multiprio->check_invariants(&why))
         verify::report_violation("MultiPrio invariant broken: " + why);
@@ -90,10 +105,19 @@ ExecResult ThreadExecutor::run(const ExecSchedulerFactory& make_scheduler,
     if (probed_recorder != nullptr && !probed_recorder->events().accounting_ok())
       verify::report_violation(
           "EventLog drop accounting out of balance (append race)");
-  });
+  };
+  verify::ScopedProbe invariant_probe(&mu, probe_body);
+  verify::ScopedProbe push_probe(&push_mu, probe_body);
+  std::vector<std::unique_ptr<verify::ScopedProbe>> shard_probes;
+  if (probed_multiprio != nullptr)
+    for (const Mutex* sm : probed_multiprio->verify_shard_mutexes())
+      shard_probes.push_back(std::make_unique<verify::ScopedProbe>(sm, probe_body));
 #endif
 
-  {
+  if (internal) {
+    std::lock_guard plock(push_mu);
+    sched->push_batch(graph_.initial_ready());
+  } else {
     std::lock_guard lock(mu);
     for (TaskId t : graph_.initial_ready()) sched->push(t);
   }
@@ -111,7 +135,8 @@ ExecResult ThreadExecutor::run(const ExecSchedulerFactory& make_scheduler,
   for (auto& m : commute_mu) m = std::make_unique<Mutex>();
 
   // Executor-side event emission; the observers are thread-safe, so no lock
-  // discipline beyond what the call sites already hold.
+  // discipline beyond what the call sites already hold. Requires `mu` (the
+  // attempt counter read).
   auto emit = [&](SchedEventKind k, TaskId t, WorkerId w) {
     if (config.observer == nullptr) return;
     SchedEvent e;
@@ -133,6 +158,7 @@ ExecResult ThreadExecutor::run(const ExecSchedulerFactory& make_scheduler,
       if (abandoned_mask[cur.index()]) continue;
       abandoned_mask[cur.index()] = true;
       ++abandoned;
+      finished.fetch_add(1);
       emit(SchedEventKind::TaskAbandoned, cur, WorkerId{});
       for (TaskId s : graph_.successors(cur)) frontier.push_back(s);
     }
@@ -143,7 +169,10 @@ ExecResult ThreadExecutor::run(const ExecSchedulerFactory& make_scheduler,
     return false;
   };
 
-  auto worker_body = [&](WorkerId w) {
+  // Coarse protocol: `mu` held across every policy call, one executor-wide
+  // condvar, notify_all on each state change (the historical contract the
+  // five mutex-free policies in src/sched/ rely on).
+  auto worker_body_coarse = [&](WorkerId w) {
     const ArchType arch = platform_.worker(w).arch;
     std::unique_lock lock(mu);
     while (completed + abandoned < total) {
@@ -174,9 +203,11 @@ ExecResult ThreadExecutor::run(const ExecSchedulerFactory& make_scheduler,
         const std::uint64_t seen = state_version;
         // Timed wait: a buggy policy must not hang the process — the worker
         // simply retries, and the post-run checks will flag lost tasks.
-        (void)cv.wait_for(lock, std::chrono::seconds(2), [&] {
-          return completed + abandoned == total || state_version != seen;
-        });
+        (void)cv.wait_for(lock, std::chrono::duration<double>(config.stall_timeout),
+                          [&] {
+                            return completed + abandoned == total ||
+                                   state_version != seen;
+                          });
         continue;
       }
       const TaskId t = *popped;
@@ -275,8 +306,162 @@ ExecResult ThreadExecutor::run(const ExecSchedulerFactory& make_scheduler,
         }
       }
       ++completed;
+      finished.fetch_add(1);
       ++state_version;
       cv.notify_all();
+    }
+  };
+
+  // Thin-lock protocol for SchedConcurrency::Internal policies: pops run
+  // without any executor lock (the policy shards its own), engine
+  // bookkeeping takes `mu` only around its own state, pushes serialize on
+  // `push_mu`, and idle workers park on the policy's per-node condvars via
+  // the work-epoch protocol (targeted wakeups, no thundering herd).
+  auto worker_body_internal = [&](WorkerId w) {
+    const ArchType arch = platform_.worker(w).arch;
+    auto parked_cancel = [&] { return finished.load() >= total; };
+    while (finished.load() < total) {
+      {
+        std::lock_guard lock(mu);
+        if (!liveness.alive(w)) return;  // lost before this thread ever ran
+        if (elapsed() >= lost_at[w.index()]) {
+          // Fail-stop, same sequence as coarse: liveness flips first, then
+          // the policy rebuilds (push-side call → push_mu) and surrenders
+          // orphans. interrupt_waiters() below replaces the notify_all.
+          liveness.mark_dead(w);
+          ++result.fault.workers_lost;
+          emit(SchedEventKind::WorkerLost, TaskId{}, w);
+          std::vector<TaskId> orphans;
+          {
+            std::lock_guard plock(push_mu);
+            orphans = sched->notify_worker_removed(w);
+          }
+          for (TaskId t : orphans) abandon(t);
+          sched->interrupt_waiters();
+          return;
+        }
+      }
+      // Epoch before the pop: any push toward this worker's node after this
+      // read bumps it, so the wait below cannot miss a wakeup.
+      const std::uint64_t epoch = sched->work_epoch(w);
+      const double pop_begin = pop_latency != nullptr ? sync_now_seconds() : 0.0;
+      const std::optional<TaskId> popped = sched->pop(w);
+      if (pop_latency != nullptr)
+        pop_latency->observe(std::max(0.0, sync_now_seconds() - pop_begin));
+      if (!popped) {
+        sched->wait_for_work(w, epoch, config.stall_timeout, parked_cancel);
+        continue;
+      }
+      const TaskId t = *popped;
+      std::size_t attempt = 0;
+      {
+        std::lock_guard lock(mu);
+        MP_CHECK_MSG(!executed[t.index()], "task popped twice");
+        attempt = attempts[t.index()];
+        std::vector<TransferOp> ops;
+        memory.acquire_for_task(t, platform_.worker(w).node, ops);
+      }
+      double predicted = 0.0;
+      if (metrics != nullptr) {
+        // δ(t,a) reads race with history.record() — serialize on push_mu,
+        // the lock every record() below holds.
+        std::lock_guard plock(push_mu);
+        predicted = history.estimate(t, arch);
+      }
+      sched->on_task_start(t, w);  // lock-free per the Internal contract
+
+      const Codelet& cl = graph_.codelet_of(t);
+      const KernelFn& fn = (arch == ArchType::GPU && cl.gpu_fn) ? cl.gpu_fn : cl.cpu_fn;
+      MP_CHECK_MSG(static_cast<bool>(fn), "no runnable implementation for popped task");
+      std::vector<void*> buffers;
+      buffers.reserve(graph_.task(t).accesses.size());
+      std::vector<std::uint32_t> locks;
+      for (const Access& a : graph_.task(t).accesses) {
+        buffers.push_back(graph_.handles().get(a.data).user_ptr);
+        if (a.mode == AccessMode::Commute) locks.push_back(a.data.value());
+      }
+      std::sort(locks.begin(), locks.end());
+      locks.erase(std::unique(locks.begin(), locks.end()), locks.end());
+      for (std::uint32_t d : locks) commute_mu[d]->lock();
+      const double start = sync_now_seconds();
+      bool failed = false;
+      try {
+        fn(graph_.task(t), buffers);
+      } catch (...) {
+        failed = true;  // exception-to-retry: treated as a transient failure
+      }
+      const double dur = std::max(1e-9, sync_now_seconds() - start);
+      for (auto it = locks.rbegin(); it != locks.rend(); ++it)
+        commute_mu[*it]->unlock();
+      bool straggled = false;
+      if (!failed && injector != nullptr) {
+        if (injector->fail_attempt(t, attempt)) failed = true;
+        const double mult = injector->duration_multiplier(t, attempt);
+        if (mult > 1.0) {
+          sync_sleep_for(std::chrono::duration<double>(dur * (mult - 1.0)));
+          straggled = true;
+        }
+      }
+
+      if (failed || straggled) {
+        std::unique_lock lock(mu);
+        if (straggled) {
+          ++result.fault.stragglers_injected;
+          emit(SchedEventKind::FaultStraggler, t, w);
+        }
+        if (failed) {
+          ++result.fault.failures_injected;
+          const std::size_t failures = ++attempts[t.index()];
+          emit(SchedEventKind::FaultFailure, t, w);
+          if (failures > retry_budget) {
+            abandon(t);
+            lock.unlock();
+            if (finished.load() >= total) sched->interrupt_waiters();
+          } else {
+            ++result.fault.retries;
+            emit(SchedEventKind::Repush, t, w);
+            lock.unlock();
+            std::lock_guard plock(push_mu);
+            sched->repush(t);
+          }
+          continue;
+        }
+      }
+      std::vector<TaskId> to_push;
+      {
+        std::lock_guard lock(mu);
+        executed[t.index()] = true;
+        if (metrics != nullptr) {
+          const std::string suffix =
+              graph_.codelet_of(t).name + "." + arch_name(arch);
+          metrics->histogram("perf_model.abs_err_s." + suffix)
+              .observe(std::abs(predicted - dur));
+          metrics->histogram("perf_model.rel_err." + suffix)
+              .observe(std::abs(predicted - dur) / dur);
+        }
+        ++result.tasks_per_worker[w.index()];
+        std::vector<TaskId> newly;
+        deps.complete(t, newly);
+        to_push.reserve(newly.size());
+        for (TaskId nt : newly) {
+          if (result.fault.workers_lost > 0 && !has_live_capable(nt)) {
+            abandon(nt);
+          } else {
+            to_push.push_back(nt);
+          }
+        }
+        ++completed;
+        finished.fetch_add(1);
+      }
+      sched->on_task_end(t, w);  // lock-free per the Internal contract
+      {
+        // One grouped push per completion: the policy takes each target
+        // node's lock once for the whole batch and wakes only those nodes.
+        std::lock_guard plock(push_mu);
+        history.record(t, arch, dur);
+        sched->push_batch(to_push);
+      }
+      if (finished.load() >= total) sched->interrupt_waiters();
     }
   };
 
@@ -289,14 +474,25 @@ ExecResult ThreadExecutor::run(const ExecSchedulerFactory& make_scheduler,
       liveness.mark_dead(w);
       ++result.fault.workers_lost;
       emit(SchedEventKind::WorkerLost, TaskId{}, w);
-      for (TaskId t : sched->notify_worker_removed(w)) abandon(t);
+      std::vector<TaskId> orphans;
+      if (internal) {
+        std::lock_guard plock(push_mu);
+        orphans = sched->notify_worker_removed(w);
+      } else {
+        orphans = sched->notify_worker_removed(w);
+      }
+      for (TaskId t : orphans) abandon(t);
     }
   }
 
   std::vector<Thread> threads;
   threads.reserve(platform_.num_workers());
-  for (std::size_t wi = 0; wi < platform_.num_workers(); ++wi)
-    threads.emplace_back(worker_body, WorkerId{wi});
+  for (std::size_t wi = 0; wi < platform_.num_workers(); ++wi) {
+    if (internal)
+      threads.emplace_back(worker_body_internal, WorkerId{wi});
+    else
+      threads.emplace_back(worker_body_coarse, WorkerId{wi});
+  }
   for (auto& th : threads) th.join();
 
   MP_CHECK_MSG(completed + abandoned == total,

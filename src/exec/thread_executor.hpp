@@ -33,6 +33,11 @@ struct ExecConfig {
   /// Null disables all recording. Not owned; must be thread-safe (the
   /// provided observers are).
   SchedObserver* observer = nullptr;
+  /// Upper bound (seconds) on how long an idle worker stays parked before
+  /// re-checking for work — the anti-hang bound that keeps a buggy policy
+  /// from wedging the process (the worker retries and the post-run checks
+  /// flag lost tasks). Tests shrink it so fault suites finish fast.
+  double stall_timeout = 2.0;
 };
 
 struct ExecResult {

@@ -10,11 +10,14 @@ namespace {
 [[nodiscard]] std::uint64_t pin_key(DataId d, MemNodeId m) {
   return (static_cast<std::uint64_t>(d.value()) << 32) | m.value();
 }
+[[nodiscard]] std::uint64_t nbit(MemNodeId m) { return std::uint64_t{1} << m.index(); }
+[[nodiscard]] std::uint64_t nbit(std::size_t i) { return std::uint64_t{1} << i; }
 }  // namespace
 
 MemoryManager::MemoryManager(const TaskGraph& graph, const Platform& platform)
     : graph_(graph), platform_(platform) {
   const std::size_t n_nodes = platform.num_nodes();
+  MP_CHECK_MSG(n_nodes <= 64, "DataState::valid is a uint64 bitmask (max 64 memory nodes)");
   nodes_.resize(n_nodes);
   for (std::size_t i = 0; i < n_nodes; ++i)
     nodes_[i].capacity = platform.node(MemNodeId{i}).capacity_bytes;
@@ -27,8 +30,7 @@ void MemoryManager::sync_new_handles() const {
     const DataId id{data_.size()};
     const DataHandle& h = graph_.handles().get(id);
     DataState ds;
-    ds.valid.assign(platform_.num_nodes(), false);
-    ds.valid[h.home.index()] = true;
+    ds.valid.store(nbit(h.home));
     ds.owner = h.home;
     data_.push_back(std::move(ds));
     // Home copies consume space on their node (matters only for GPU-homed
@@ -42,7 +44,7 @@ void MemoryManager::sync_new_handles() const {
 bool MemoryManager::is_valid_on(DataId d, MemNodeId node) const {
   sync_new_handles();
   MP_ASSERT(d.index() < data_.size());
-  return data_[d.index()].valid[node.index()];
+  return (data_[d.index()].valid.load() & nbit(node)) != 0;
 }
 
 std::size_t MemoryManager::bytes_missing(TaskId t, MemNodeId node) const {
@@ -59,7 +61,7 @@ double MemoryManager::estimated_transfer_time(TaskId t, MemNodeId node) const {
   double time = 0.0;
   for (const Access& a : graph_.task(t).accesses) {
     const DataState& ds = data_[a.data.index()];
-    if (ds.valid[node.index()]) continue;
+    if ((ds.valid.load() & nbit(node)) != 0) continue;
     const MemNodeId src = any_valid_node(ds);
     time += platform_.transfer_time(graph_.handles().get(a.data).bytes, src, node);
   }
@@ -68,9 +70,10 @@ double MemoryManager::estimated_transfer_time(TaskId t, MemNodeId node) const {
 
 MemNodeId MemoryManager::any_valid_node(const DataState& ds) const {
   // Prefer RAM as the source (cheapest single hop), else the first valid node.
-  if (ds.valid[platform_.ram_node().index()]) return platform_.ram_node();
-  for (std::size_t i = 0; i < ds.valid.size(); ++i)
-    if (ds.valid[i]) return MemNodeId{i};
+  const std::uint64_t mask = ds.valid.load();
+  if ((mask & nbit(platform_.ram_node())) != 0) return platform_.ram_node();
+  for (std::size_t i = 0; i < platform_.num_nodes(); ++i)
+    if ((mask & nbit(i)) != 0) return MemNodeId{i};
   MP_CHECK_MSG(false, "data handle has no valid copy anywhere");
   return MemNodeId{};
 }
@@ -95,7 +98,7 @@ void MemoryManager::drop_copy(DataId d, MemNodeId node) {
   const std::size_t bytes = graph_.handles().get(d).bytes;
   MP_ASSERT(ns.used >= bytes);
   ns.used -= bytes;
-  data_[d.index()].valid[node.index()] = false;
+  data_[d.index()].valid.fetch_and(~nbit(node));
 }
 
 bool MemoryManager::evict_until_fits(std::size_t need, MemNodeId node,
@@ -110,15 +113,14 @@ bool MemoryManager::evict_until_fits(std::size_t need, MemNodeId node,
     if (pin != pin_count_.end() && pin->second > 0) continue;
     DataState& ds = data_[victim.index()];
     const std::size_t bytes = graph_.handles().get(victim).bytes;
-    const bool only_copy_here =
-        std::count(ds.valid.begin(), ds.valid.end(), true) == 1 && ds.valid[node.index()];
+    const bool only_copy_here = ds.valid.load() == nbit(node);
     if (only_copy_here) {
       // Write the authoritative copy back to RAM before dropping it.
       const MemNodeId ram = platform_.ram_node();
       ops.push_back(TransferOp{victim, node, ram, bytes, true});
       ns.bytes_out += bytes;
       nodes_[ram.index()].bytes_in += bytes;
-      ds.valid[ram.index()] = true;
+      ds.valid.fetch_or(nbit(ram));
       touch(victim, ram);  // RAM is unlimited; no recursion
       ds.owner = ram;
     }
@@ -134,7 +136,7 @@ bool MemoryManager::evict_until_fits(std::size_t need, MemNodeId node,
 
 void MemoryManager::make_resident(DataId d, MemNodeId node, std::vector<TransferOp>& ops) {
   DataState& ds = data_[d.index()];
-  if (ds.valid[node.index()]) {
+  if ((ds.valid.load() & nbit(node)) != 0) {
     touch(d, node);
     return;
   }
@@ -144,7 +146,7 @@ void MemoryManager::make_resident(DataId d, MemNodeId node, std::vector<Transfer
   ops.push_back(TransferOp{d, src, node, bytes, false});
   nodes_[src.index()].bytes_out += bytes;
   nodes_[node.index()].bytes_in += bytes;
-  ds.valid[node.index()] = true;
+  ds.valid.fetch_or(nbit(node));
   nodes_[node.index()].used += bytes;
   touch(d, node);
 }
@@ -157,10 +159,10 @@ void MemoryManager::acquire_for_task(TaskId t, MemNodeId node, std::vector<Trans
     } else {
       // Write-only: no fetch needed, just allocation on the node.
       DataState& ds = data_[a.data.index()];
-      if (!ds.valid[node.index()]) {
+      if ((ds.valid.load() & nbit(node)) == 0) {
         const std::size_t bytes = graph_.handles().get(a.data).bytes;
         (void)evict_until_fits(bytes, node, ops);
-        ds.valid[node.index()] = true;
+        ds.valid.fetch_or(nbit(node));
         nodes_[node.index()].used += bytes;
       }
       touch(a.data, node);
@@ -168,8 +170,9 @@ void MemoryManager::acquire_for_task(TaskId t, MemNodeId node, std::vector<Trans
     if (mode_writes(a.mode)) {
       // Invalidate every other copy; this node becomes the owner.
       DataState& ds = data_[a.data.index()];
-      for (std::size_t i = 0; i < ds.valid.size(); ++i) {
-        if (i == node.index() || !ds.valid[i]) continue;
+      const std::uint64_t others = ds.valid.load() & ~nbit(node);
+      for (std::size_t i = 0; i < platform_.num_nodes(); ++i) {
+        if ((others & nbit(i)) == 0) continue;
         drop_copy(a.data, MemNodeId{i});
       }
       ds.dirty = (node != graph_.handles().get(a.data).home);
@@ -181,7 +184,7 @@ void MemoryManager::acquire_for_task(TaskId t, MemNodeId node, std::vector<Trans
 void MemoryManager::prefetch(DataId d, MemNodeId node, std::vector<TransferOp>& ops) {
   sync_new_handles();
   DataState& ds = data_[d.index()];
-  if (ds.valid[node.index()]) return;
+  if ((ds.valid.load() & nbit(node)) != 0) return;
   const std::size_t bytes = graph_.handles().get(d).bytes;
   std::vector<TransferOp> evictions;
   if (!evict_until_fits(bytes, node, evictions)) {
@@ -195,7 +198,7 @@ void MemoryManager::prefetch(DataId d, MemNodeId node, std::vector<TransferOp>& 
   ops.push_back(TransferOp{d, src, node, bytes, false});
   nodes_[src.index()].bytes_out += bytes;
   nodes_[node.index()].bytes_in += bytes;
-  ds.valid[node.index()] = true;
+  ds.valid.fetch_or(nbit(node));
   nodes_[node.index()].used += bytes;
   touch(d, node);
 }
@@ -207,15 +210,15 @@ void MemoryManager::evacuate_node(MemNodeId node, std::vector<TransferOp>& ops) 
   for (std::size_t di = 0; di < data_.size(); ++di) {
     const DataId d{di};
     DataState& ds = data_[di];
-    if (!ds.valid[node.index()]) continue;
+    if ((ds.valid.load() & nbit(node)) == 0) continue;
     MP_ASSERT(pin_count_.find(pin_key(d, node)) == pin_count_.end());
-    if (std::count(ds.valid.begin(), ds.valid.end(), true) == 1) {
+    if (ds.valid.load() == nbit(node)) {
       // Sole copy: migrate it to RAM while the link still exists.
       const std::size_t bytes = graph_.handles().get(d).bytes;
       ops.push_back(TransferOp{d, node, ram, bytes, true});
       nodes_[node.index()].bytes_out += bytes;
       nodes_[ram.index()].bytes_in += bytes;
-      ds.valid[ram.index()] = true;
+      ds.valid.fetch_or(nbit(ram));
       touch(d, ram);
       ds.owner = ram;
     }

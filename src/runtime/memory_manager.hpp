@@ -18,6 +18,7 @@
 #include "common/ids.hpp"
 #include "runtime/platform.hpp"
 #include "runtime/task_graph.hpp"
+#include "verify/sync.hpp"
 
 namespace mp {
 
@@ -77,7 +78,12 @@ class MemoryManager {
 
  private:
   struct DataState {
-    std::vector<bool> valid;  // per node
+    /// Validity bitmask, bit = node index (the platform is capped at 64
+    /// memory nodes). Relaxed-atomic because internally-locked schedulers
+    /// read locality (is_valid_on via LS_SDH²) from their POP path while the
+    /// engine commits placement changes under its own lock; a locality score
+    /// judged one transfer stale is an acceptable heuristic error.
+    RelaxedAtomic<std::uint64_t> valid;
     bool dirty = false;       // some node holds a newer copy than home
     MemNodeId owner;          // node holding the authoritative copy if dirty
   };

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
@@ -12,6 +13,7 @@
 #include "runtime/perf_model.hpp"
 #include "runtime/platform.hpp"
 #include "runtime/task_graph.hpp"
+#include "verify/sync.hpp"
 
 namespace mp {
 
@@ -31,45 +33,55 @@ class PrefetchSink {
 /// Which workers are still alive. Engines that support fail-stop worker loss
 /// own one and flip it *before* notifying the policy; a null liveness in the
 /// SchedContext means every worker of the platform is alive.
+///
+/// Counters are RelaxedAtomics: an internally-locked policy's POP path reads
+/// live counts under only its shard lock while the engine flips them under
+/// its own bookkeeping lock. A pop may therefore judge against a count that
+/// is one death stale — a transient the subsequent notify_worker_removed()
+/// rebuild (fully serialized) supersedes.
 class WorkerLiveness {
  public:
   explicit WorkerLiveness(const Platform& platform)
       : platform_(&platform),
-        alive_(platform.num_workers(), true),
-        node_live_(platform.num_nodes(), 0) {
+        alive_(platform.num_workers()),
+        node_live_(platform.num_nodes()) {
     for (const Worker& w : platform.workers()) {
-      ++node_live_[w.node.index()];
-      ++arch_live_[arch_index(w.arch)];
+      alive_[w.id.index()].store(1);
+      node_live_[w.node.index()].fetch_add(1);
+      arch_live_[arch_index(w.arch)].fetch_add(1);
     }
   }
 
-  [[nodiscard]] bool alive(WorkerId w) const { return alive_[w.index()]; }
+  [[nodiscard]] bool alive(WorkerId w) const {
+    return alive_[w.index()].load() != 0;
+  }
   [[nodiscard]] std::size_t live_count(ArchType a) const {
-    return arch_live_[arch_index(a)];
+    return arch_live_[arch_index(a)].load();
   }
   [[nodiscard]] std::size_t live_on_node(MemNodeId m) const {
-    return node_live_[m.index()];
+    return node_live_[m.index()].load();
   }
   [[nodiscard]] std::size_t total_live() const {
     std::size_t n = 0;
-    for (std::size_t c : arch_live_) n += c;
+    for (const auto& c : arch_live_) n += c.load();
     return n;
   }
 
-  /// Fail-stop: idempotent, never reversed.
+  /// Fail-stop: idempotent, never reversed. Callers serialize marking (the
+  /// engines flip liveness under their bookkeeping lock).
   void mark_dead(WorkerId w) {
-    if (!alive_[w.index()]) return;
-    alive_[w.index()] = false;
+    if (alive_[w.index()].load() == 0) return;
+    alive_[w.index()].store(0);
     const Worker& wk = platform_->worker(w);
-    --node_live_[wk.node.index()];
-    --arch_live_[arch_index(wk.arch)];
+    node_live_[wk.node.index()].fetch_sub(1);
+    arch_live_[arch_index(wk.arch)].fetch_sub(1);
   }
 
  private:
   const Platform* platform_;
-  std::vector<bool> alive_;
-  std::vector<std::size_t> node_live_;
-  std::array<std::size_t, kNumArchTypes> arch_live_{};
+  std::vector<RelaxedAtomic<std::uint8_t>> alive_;
+  std::vector<RelaxedAtomic<std::size_t>> node_live_;
+  std::array<RelaxedAtomic<std::size_t>, kNumArchTypes> arch_live_{};
 };
 
 /// Everything a policy may inspect — the scheduler-visible surface of the
@@ -91,6 +103,22 @@ struct SchedContext {
   SchedObserver* observer = nullptr;
 };
 
+/// How a policy expects to be synchronized by a threaded engine.
+enum class SchedConcurrency {
+  /// The engine serializes *every* policy call under one coarse lock (the
+  /// historical contract; all the simple mutex-free policies keep it).
+  ExternalLock,
+  /// The policy locks internally (e.g. one lock per memory-node heap):
+  ///  - pop() / work_epoch() / wait_for_work() / interrupt_waiters() are
+  ///    thread-safe against everything, including each other;
+  ///  - push() / push_batch() / repush() / notify_worker_removed() must be
+  ///    serialized *against each other* by the engine (a single push-side
+  ///    lock) but may run concurrently with pops;
+  ///  - on_task_start() / on_task_end() may be called without any lock and
+  ///    must therefore be thread-safe.
+  Internal,
+};
+
 /// A scheduling policy. The engine calls push() when a task becomes ready
 /// and pop() when a worker is idle. pop() returning nullopt parks the worker
 /// until the engine wakes it on the next state change (push, completion, or
@@ -105,6 +133,39 @@ class Scheduler {
 
   virtual void push(TaskId t) = 0;
   [[nodiscard]] virtual std::optional<TaskId> pop(WorkerId w) = 0;
+
+  /// Locking contract this policy implements (see SchedConcurrency).
+  [[nodiscard]] virtual SchedConcurrency concurrency() const {
+    return SchedConcurrency::ExternalLock;
+  }
+
+  /// Batched dependency release: all tasks a completion made ready at once.
+  /// Internally-locked policies override this to take each target node's
+  /// lock once per batch instead of once per task.
+  virtual void push_batch(const std::vector<TaskId>& ts) {
+    for (TaskId t : ts) push(t);
+  }
+
+  // --- Internal-concurrency wait protocol -----------------------------------
+  // A worker that saw an empty pop() parks in wait_for_work() until work
+  // that *its node* could pop may have appeared. The epoch is read before
+  // the pop; any push toward the worker's node afterwards bumps it, so the
+  // wait predicate closes the classic lost-wakeup window. ExternalLock
+  // policies keep the engine's own condvar protocol and never see these.
+
+  /// Monotonic per-worker-node push counter (relaxed read; 0 by default).
+  [[nodiscard]] virtual std::uint64_t work_epoch(WorkerId /*w*/) const { return 0; }
+
+  /// Block until the worker's node epoch moves past `seen`, `cancel()` turns
+  /// true, or `timeout_s` elapses (the anti-hang bound — spurious returns
+  /// are always safe, the caller just retries its pop).
+  virtual void wait_for_work(WorkerId /*w*/, std::uint64_t /*seen*/,
+                             double /*timeout_s*/,
+                             const std::function<bool()>& /*cancel*/) {}
+
+  /// Wake every worker parked in wait_for_work() (shutdown, abandonment,
+  /// worker loss — any engine-side state change the epochs cannot see).
+  virtual void interrupt_waiters() {}
 
   /// Re-enqueues a previously popped task whose execution did not complete —
   /// a transient failure being retried, or work drained off a dead worker.

@@ -14,6 +14,15 @@ std::unique_ptr<Scheduler> make_scheduler_by_name(const std::string& name,
   if (name == "heteroprio") return make_heteroprio(std::move(ctx));
   if (name == "multiprio")
     return std::make_unique<MultiPrioScheduler>(std::move(ctx), MultiPrioConfig{});
+  if (name == "multiprio-coarse") {
+    // Same policy under the engine's coarse lock (SchedConcurrency::
+    // ExternalLock) — the contention baseline the sharded default is
+    // benchmarked against, and the fixture the coarse-protocol mutation
+    // tests pin.
+    MultiPrioConfig cfg;
+    cfg.sharded = false;
+    return std::make_unique<MultiPrioScheduler>(std::move(ctx), cfg);
+  }
   if (name == "multiprio-noevict") {
     MultiPrioConfig cfg;
     cfg.use_eviction = false;
@@ -41,8 +50,9 @@ std::unique_ptr<Scheduler> make_scheduler_by_name(const std::string& name,
 std::vector<std::string> scheduler_names() {
   return {"eager",     "random",          "lws",
           "dm",        "dmda",            "dmdas",
-          "heteroprio", "multiprio",      "multiprio-noevict",
-          "multiprio-nolocality", "multiprio-nonod", "multiprio-rawbrw"};
+          "heteroprio", "multiprio",      "multiprio-coarse",
+          "multiprio-noevict", "multiprio-nolocality", "multiprio-nonod",
+          "multiprio-rawbrw"};
 }
 
 }  // namespace mp

@@ -28,9 +28,17 @@ class verify_controller_access {
  public:
   static bool& held(VMutex& m) { return m.v_held_; }
   static std::uint32_t& owner(VMutex& m) { return m.v_owner_; }
+  static bool held_value(const VMutex& m) { return m.v_held_; }
 };
 
 namespace verify {
+
+// v_held_ is guarded by the controller's big lock; probes run on the
+// releasing thread with that lock held, so this read is race-free in the
+// only context it is meant for. Outside an exploration it is always false.
+bool mutex_is_held(const VMutex& m) {
+  return verify_controller_access::held_value(m);
+}
 
 namespace {
 
@@ -187,7 +195,16 @@ class Controller {
       violation_and_throw(lk, "unlock of a mutex this thread does not hold");
     release_locked(self, m);
     execute_record(self);
-    run_probes(lk, m);
+    try {
+      run_probes(lk, m);
+    } catch (ViolationUnwind&) {
+      // A probe tripped at this unlock. The violation and stop_ are already
+      // recorded (set_violation_locked ran inside the probe), but this unlock
+      // may be a lock_guard/unique_lock destructor, where letting the
+      // exception continue would hit std::terminate. Return normally instead:
+      // every managed thread — including this one — unwinds at its next
+      // visible op via check_unwind, from a throw-safe context.
+    }
   }
 
   void cv_wait(VCondVar* cv, VMutex* m, bool timed, bool* timeout_out) {

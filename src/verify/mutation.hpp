@@ -8,6 +8,10 @@
 //  - SkipBrwDecrement: MultiPrioScheduler::take() skips the
 //    best_remaining_work debit — the ledger drifts above the sum of the
 //    pending PUSH credits.
+//  - SkipNodeLock: the sharded MultiPrioScheduler's POP path skips acquiring
+//    its memory node's shard lock — two workers of the same node can
+//    interleave inside candidate selection / eviction / take against each
+//    other and against a locked PUSH.
 //
 // The hooks are compiled to constant-false outside MP_VERIFY builds, so
 // production binaries carry no mutation code path at all.
@@ -19,6 +23,7 @@ enum class Mutation {
   None,
   SkipExecutorLock,
   SkipBrwDecrement,
+  SkipNodeLock,
 };
 
 #ifdef MP_VERIFY

@@ -58,6 +58,13 @@ enum class OpKind {
 /// this single predicate.
 [[nodiscard]] bool managed();
 
+/// True when some managed thread currently holds `m` (the managed-mode view;
+/// always false outside an exploration). Probe-context helper: invariant
+/// oracles that audit state guarded by locks *finer* than the probe's own
+/// guard use it as a quiescence gate — skip the audit while a suspended
+/// thread sits inside one of those critical sections.
+[[nodiscard]] bool mutex_is_held(const VMutex& m);
+
 /// Announce + possibly preempt before a non-blocking visible op.
 void op_point(OpKind kind, const void* obj, const char* what);
 
@@ -334,3 +341,73 @@ void sync_sleep_for(const std::chrono::duration<Rep, Period>& dur) {
 }  // namespace mp
 
 #endif  // MP_VERIFY
+
+// --- RelaxedAtomic: shared by both build modes ------------------------------
+//
+// A deliberately *relaxed* atomic that is INVISIBLE to the interleaving
+// explorer: no op_point, no preemption, identical code under MP_VERIFY and
+// normal builds. It exists for racy-by-design state whose correctness is
+// argued structurally and checked by quiescent-point oracles rather than by
+// exploring every load/store interleaving — the sharded scheduler's
+// best_remaining_work ledger, per-task take flags, ready counters and shard
+// epochs (cf. the relaxed multi-queue schedulers of Postnikova et al., where
+// statistical state tolerates bounded staleness). Using it for state that
+// *does* need happens-before ordering would silently shrink the explored
+// space — that is what mp::Atomic is for.
+namespace mp {
+
+template <typename T>
+class RelaxedAtomic {
+ public:
+  RelaxedAtomic() noexcept : v_(T{}) {}
+  explicit RelaxedAtomic(T v) noexcept : v_(v) {}
+  RelaxedAtomic(const RelaxedAtomic&) = delete;
+  RelaxedAtomic& operator=(const RelaxedAtomic&) = delete;
+  // Movable so containers can be sized at construction; a move is NOT atomic
+  // and must only happen before the object is shared between threads.
+  RelaxedAtomic(RelaxedAtomic&& o) noexcept
+      : v_(o.v_.load(std::memory_order_relaxed)) {}
+  RelaxedAtomic& operator=(RelaxedAtomic&& o) noexcept {
+    v_.store(o.v_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    return *this;
+  }
+
+  [[nodiscard]] T load() const { return v_.load(std::memory_order_relaxed); }
+  void store(T v) { v_.store(v, std::memory_order_relaxed); }
+  T exchange(T v) { return v_.exchange(v, std::memory_order_relaxed); }
+  bool compare_exchange(T& expected, T desired) {
+    return v_.compare_exchange_strong(expected, desired,
+                                      std::memory_order_relaxed,
+                                      std::memory_order_relaxed);
+  }
+  T fetch_add(T d) { return v_.fetch_add(d, std::memory_order_relaxed); }
+  T fetch_sub(T d) { return v_.fetch_sub(d, std::memory_order_relaxed); }
+  T fetch_and(T d) { return v_.fetch_and(d, std::memory_order_relaxed); }
+  T fetch_or(T d) { return v_.fetch_or(d, std::memory_order_relaxed); }
+
+  /// CAS-loop add for types without lock-free fetch_add (double). The
+  /// arithmetic matches a plain `x += d`, so coarse and sharded modes of a
+  /// policy produce bit-identical ledgers in single-threaded engines.
+  T add(T d) {
+    T cur = load();
+    while (!compare_exchange(cur, cur + d)) {
+    }
+    return cur + d;
+  }
+  /// CAS-loop subtract clamped at zero (best_remaining_work debit: diversion
+  /// debits may legally exceed the outstanding credits).
+  T sub_clamped(T d) {
+    T cur = load();
+    T next;
+    do {
+      next = cur - d;
+      if (next < T{}) next = T{};
+    } while (!compare_exchange(cur, next));
+    return next;
+  }
+
+ private:
+  std::atomic<T> v_;
+};
+
+}  // namespace mp

@@ -62,6 +62,7 @@ TEST(ThreadExecutorFault, InjectedTransientFailuresRetryToCompletion) {
   PerfDatabase db = test::flat_perf();
   ThreadExecutor exec(g, p, db);
   ExecConfig cfg;
+  cfg.stall_timeout = 0.05;
   cfg.fault.transient.push_back(TransientFaultSpec{CodeletId{}, 0.4});
   cfg.fault.retry_budget = 30;
   const ExecResult r = exec.run(by_name("eager"), cfg);
@@ -93,6 +94,7 @@ TEST(ThreadExecutorFault, ExhaustedBudgetAbandonsDescendants) {
   PerfDatabase db = test::flat_perf();
   ThreadExecutor exec(g, p, db);
   ExecConfig cfg;
+  cfg.stall_timeout = 0.05;
   cfg.fault.retry_budget = 2;
   const ExecResult r = exec.run(by_name("lws"), cfg);
   EXPECT_EQ(r.tasks_executed, 1u);
@@ -122,6 +124,7 @@ TEST(ThreadExecutorFault, WorkerLossDegradesOntoSurvivors) {
     runs.store(0);
     ThreadExecutor exec(g, p, db);
     ExecConfig cfg;
+    cfg.stall_timeout = 0.05;
     cfg.fault.worker_losses.push_back(WorkerLossSpec{gpu_w, 0.0});  // dies at start
     const ExecResult r = exec.run(by_name(name), cfg);
     EXPECT_EQ(r.tasks_executed, 30u) << name;
@@ -149,6 +152,7 @@ TEST(ThreadExecutorFault, LossOfOnlyCapableWorkerAbandonsOrphans) {
   PerfDatabase db = test::flat_perf();
   ThreadExecutor exec(g, p, db);
   ExecConfig cfg;
+  cfg.stall_timeout = 0.05;
   cfg.fault.worker_losses.push_back(WorkerLossSpec{gpu_w, 0.0});
   const ExecResult r = exec.run(by_name("eager"), cfg);
   EXPECT_EQ(r.tasks_executed, 0u);
@@ -170,6 +174,7 @@ TEST(ThreadExecutorFault, StragglersSlowButDoNotBreakTheRun) {
   PerfDatabase db = test::flat_perf();
   ThreadExecutor exec(g, p, db);
   ExecConfig cfg;
+  cfg.stall_timeout = 0.05;
   cfg.fault.stragglers.push_back(StragglerSpec{CodeletId{}, 1.0, 2.0});
   const ExecResult r = exec.run(by_name("random"), cfg);
   EXPECT_EQ(r.tasks_executed, 10u);

@@ -265,6 +265,7 @@ TEST(ObsExec, ExecutorRecordsEventsAndPopLatency) {
   RecordingObserver obs;
   ThreadExecutor exec(g, p, db);
   ExecConfig cfg;
+  cfg.stall_timeout = 0.05;
   cfg.observer = &obs;
   const ExecResult r = exec.run(by_name("multiprio"), cfg);
   EXPECT_EQ(r.tasks_executed, cells.size());

@@ -1,0 +1,237 @@
+// The sharded (internally-locked) MultiPrio protocol: per-node shard locks,
+// the Pending→Taken commit CAS, the live-mask slot-retire protocol and the
+// work-epoch wait — explored end-to-end through ThreadExecutor's thin-lock
+// engine path, plus the SkipNodeLock seeded mutation that proves the
+// detector still detects now that cross-node races are benign by design.
+//
+// Exploration tests run only in -DMP_VERIFY=ON builds (`ctest -L verify`);
+// the capability and determinism tests run in every build.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/check.hpp"
+#include "core/multiprio.hpp"
+#include "exec/thread_executor.hpp"
+#include "obs/observer.hpp"
+#include "sched/schedulers.hpp"
+#include "sim/engine.hpp"
+#include "test_util.hpp"
+#include "verify/explore.hpp"
+#include "verify/mutation.hpp"
+
+namespace mp {
+namespace {
+
+ExecSchedulerFactory by_name(const std::string& name) {
+  return [name](SchedContext ctx) { return make_scheduler_by_name(name, std::move(ctx)); };
+}
+
+// Same 6-task DAG as test_verify.cpp (diamond plus two independents), but
+// driven through the sharded default. `cpus` = 2 for the mutation tests:
+// SkipNodeLock reintroduces same-node-worker races, which need two workers
+// popping the same shard.
+void run_sharded_fixture_once(bool with_observer, std::size_t cpus = 1) {
+  TaskGraph g;
+  const CodeletId cl = g.add_codelet("work", {ArchType::CPU, ArchType::GPU},
+                                     [](const Task&, std::span<void* const>) {});
+  std::vector<DataId> d;
+  for (int i = 0; i < 5; ++i) d.push_back(g.add_data(64));
+  g.submit(cl, {Access{d[0], AccessMode::Write}});
+  g.submit(cl, {Access{d[0], AccessMode::Read}, Access{d[1], AccessMode::Write}});
+  g.submit(cl, {Access{d[0], AccessMode::Read}, Access{d[2], AccessMode::Write}});
+  g.submit(cl, {Access{d[1], AccessMode::Read}, Access{d[2], AccessMode::Read}});
+  g.submit(cl, {Access{d[3], AccessMode::ReadWrite}});
+  g.submit(cl, {Access{d[4], AccessMode::ReadWrite}});
+
+  Platform p = test::small_platform(cpus, 1);
+  PerfDatabase db = test::flat_perf();
+  ThreadExecutor exec(g, p, db);
+  RecordingObserver obs;
+  ExecConfig cfg;
+  cfg.stall_timeout = 0.05;
+  if (with_observer) cfg.observer = &obs;
+  const ExecResult r = exec.run(by_name("multiprio"), cfg);
+  MP_CHECK_MSG(r.tasks_executed == 6, "fixture must execute all 6 tasks");
+  if (with_observer) {
+    MP_CHECK_MSG(obs.events().count(SchedEventKind::Pop) == 6,
+                 "one POP event per executed task");
+    MP_CHECK_MSG(obs.events().accounting_ok(), "event accounting out of balance");
+  }
+}
+
+// --- capability plumbing (all builds) --------------------------------------
+
+TEST(ShardedCapability, MultiPrioIsInternalCoarseVariantIsNot) {
+  test::EdgeGraph eg(2, {});
+  Platform p = test::small_platform(1, 1);
+  test::ManualContext mc(eg.graph, p, test::flat_perf());
+
+  const auto sharded = make_scheduler_by_name("multiprio", mc.ctx());
+  EXPECT_EQ(sharded->concurrency(), SchedConcurrency::Internal);
+  EXPECT_EQ(sharded->name(), "multiprio");
+
+  const auto coarse = make_scheduler_by_name("multiprio-coarse", mc.ctx());
+  EXPECT_EQ(coarse->concurrency(), SchedConcurrency::ExternalLock);
+  EXPECT_EQ(coarse->name(), "multiprio-coarse");
+
+  // Every mutex-free policy in src/sched/ keeps the engine's coarse lock.
+  for (const char* name : {"eager", "random", "lws", "dm", "dmda", "dmdas",
+                           "heteroprio"}) {
+    const auto s = make_scheduler_by_name(name, mc.ctx());
+    EXPECT_EQ(s->concurrency(), SchedConcurrency::ExternalLock) << name;
+  }
+}
+
+TEST(ShardedCapability, WorkEpochAdvancesOnPushTowardTheWorkerNode) {
+  test::EdgeGraph eg(3, {});
+  Platform p = test::small_platform(1, 1);
+  test::ManualContext mc(eg.graph, p, test::flat_perf());
+  MultiPrioScheduler s(mc.ctx());
+
+  const WorkerId cpu{std::size_t{0}};
+  const std::uint64_t before = s.work_epoch(cpu);
+  s.push(eg.tasks[0]);
+  const std::uint64_t after = s.work_epoch(cpu);
+  EXPECT_GT(after, before) << "a push toward the worker's node must bump its epoch";
+
+  // wait_for_work with a moved epoch returns immediately (predicate already
+  // true) — the lost-wakeup closure the engine's park path relies on.
+  s.wait_for_work(cpu, before, /*timeout_s=*/60.0, [] { return false; });
+  // A canceled wait returns promptly too, epoch moved or not.
+  s.wait_for_work(cpu, after, /*timeout_s=*/60.0, [] { return true; });
+  s.interrupt_waiters();  // callable any time, with no waiters parked
+}
+
+// --- sharded == coarse decisions (all builds) ------------------------------
+
+TEST(ShardedDeterminism, SimEngineShardedMatchesCoarseByteForByte) {
+  // Under the single-threaded SimEngine the two lock protocols must be pure
+  // overhead: same pops, same evictions, same event stream, same makespan.
+  test::EdgeGraph eg(24, {{0, 8},  {1, 8},  {2, 9},  {3, 10}, {8, 16},
+                          {9, 16}, {10, 17}, {4, 11}, {5, 12}, {11, 18},
+                          {12, 18}, {6, 13}, {7, 14}, {13, 19}, {14, 19},
+                          {15, 20}, {16, 21}, {17, 21}, {18, 22}, {19, 22}});
+  const Platform p = test::small_platform(2, 2);
+  const PerfDatabase db = test::flat_perf();
+  auto run = [&](const std::string& name, RecordingObserver* obs) {
+    SimConfig sc;
+    sc.observer = obs;
+    SimEngine engine(eg.graph, p, db, sc);
+    return engine.run([&](SchedContext ctx) {
+      return make_scheduler_by_name(name, std::move(ctx));
+    });
+  };
+  RecordingObserver obs_sharded;
+  RecordingObserver obs_coarse;
+  const SimResult sharded = run("multiprio", &obs_sharded);
+  const SimResult coarse = run("multiprio-coarse", &obs_coarse);
+
+  EXPECT_EQ(sharded.makespan, coarse.makespan);  // bitwise, not approximate
+  EXPECT_EQ(sharded.tasks_executed, coarse.tasks_executed);
+  EXPECT_EQ(sharded.evictions, coarse.evictions);
+  EXPECT_EQ(sharded.failed_pops, coarse.failed_pops);
+  EXPECT_EQ(obs_sharded.events().to_csv(), obs_coarse.events().to_csv())
+      << "lock sharding must not change a single scheduling decision";
+}
+
+// --- exploration (MP_VERIFY builds) ----------------------------------------
+
+TEST(ShardedExplore, TinyFixtureExhaustsScheduleSpace) {
+  if (!verify::exploration_supported()) GTEST_SKIP() << "needs -DMP_VERIFY=ON";
+  // Two independent tasks, 1 CPU + 1 GPU = a 2-memory-node platform: the
+  // full sharded protocol (2 shard locks + push_mu + engine mu + per-shard
+  // condvars) explored to exhaustion.
+  verify::ExploreConfig cfg;
+  cfg.mode = verify::ExploreConfig::Mode::Exhaustive;
+  cfg.max_schedules = 200000;
+  const verify::ExploreResult r = verify::explore(
+      [] {
+        TaskGraph g;
+        const CodeletId cl =
+            g.add_codelet("work", {ArchType::CPU, ArchType::GPU},
+                          [](const Task&, std::span<void* const>) {});
+        const DataId a = g.add_data(64);
+        const DataId b = g.add_data(64);
+        g.submit(cl, {Access{a, AccessMode::ReadWrite}});
+        g.submit(cl, {Access{b, AccessMode::ReadWrite}});
+        Platform p = test::small_platform(1, 1);
+        PerfDatabase db = test::flat_perf();
+        ThreadExecutor exec(g, p, db);
+        ExecConfig ecfg;
+        ecfg.stall_timeout = 0.05;
+        const ExecResult res = exec.run(by_name("multiprio"), ecfg);
+        MP_CHECK(res.tasks_executed == 2);
+      },
+      cfg);
+  EXPECT_FALSE(r.violation) << r.summary();
+  EXPECT_TRUE(r.exhausted) << "DFS must terminate on the tiny sharded fixture, ran "
+                           << r.schedules << " schedules";
+  EXPECT_GT(r.schedules, 1u);
+}
+
+TEST(ShardedExplore, FixtureExploresCleanExhaustive) {
+  if (!verify::exploration_supported()) GTEST_SKIP() << "needs -DMP_VERIFY=ON";
+  verify::ExploreConfig cfg;
+  cfg.mode = verify::ExploreConfig::Mode::Exhaustive;
+  cfg.max_schedules = 10000;  // budget-bounded; clean within it
+  const verify::ExploreResult r =
+      verify::explore([] { run_sharded_fixture_once(/*with_observer=*/false); }, cfg);
+  EXPECT_FALSE(r.violation) << r.summary();
+  EXPECT_GT(r.schedules, 1u);
+}
+
+TEST(ShardedExplore, FixtureWithObserverExploresCleanPct) {
+  if (!verify::exploration_supported()) GTEST_SKIP() << "needs -DMP_VERIFY=ON";
+  verify::ExploreConfig cfg;
+  cfg.mode = verify::ExploreConfig::Mode::Pct;
+  cfg.max_schedules = 200;
+  cfg.seed = 7;
+  const verify::ExploreResult r =
+      verify::explore([] { run_sharded_fixture_once(/*with_observer=*/true); }, cfg);
+  EXPECT_FALSE(r.violation) << r.summary();
+  EXPECT_EQ(r.schedules, 200u);
+}
+
+TEST(ShardedExplore, TwoSameNodeWorkersExploreClean) {
+  if (!verify::exploration_supported()) GTEST_SKIP() << "needs -DMP_VERIFY=ON";
+  // The same-node-contention fixture the mutation below corrupts — first
+  // prove it is clean with the shard lock in place.
+  verify::ExploreConfig cfg;
+  cfg.mode = verify::ExploreConfig::Mode::Pct;
+  cfg.max_schedules = 500;
+  cfg.seed = 3;
+  const verify::ExploreResult r = verify::explore(
+      [] { run_sharded_fixture_once(/*with_observer=*/false, /*cpus=*/2); }, cfg);
+  EXPECT_FALSE(r.violation) << r.summary();
+}
+
+TEST(ShardedMutation, SkipNodeLockIsCaughtExhaustive) {
+  if (!verify::exploration_supported()) GTEST_SKIP() << "needs -DMP_VERIFY=ON";
+  verify::ScopedMutation arm(verify::Mutation::SkipNodeLock);
+  verify::ExploreConfig cfg;
+  cfg.mode = verify::ExploreConfig::Mode::Exhaustive;
+  cfg.max_schedules = 10000;  // the detection budget the suite guarantees
+  const verify::ExploreResult r = verify::explore(
+      [] { run_sharded_fixture_once(/*with_observer=*/false, /*cpus=*/2); }, cfg);
+  ASSERT_TRUE(r.violation)
+      << "a POP running without its shard lock must be detected within 10k "
+      << "interleavings; " << r.summary();
+  EXPECT_FALSE(r.violation_message.empty());
+  EXPECT_FALSE(r.violation_trace.empty()) << "violation must carry the schedule";
+}
+
+TEST(ShardedMutation, SkipNodeLockIsCaughtByPct) {
+  if (!verify::exploration_supported()) GTEST_SKIP() << "needs -DMP_VERIFY=ON";
+  verify::ScopedMutation arm(verify::Mutation::SkipNodeLock);
+  verify::ExploreConfig cfg;
+  cfg.mode = verify::ExploreConfig::Mode::Pct;
+  cfg.max_schedules = 10000;
+  cfg.seed = 1;
+  const verify::ExploreResult r = verify::explore(
+      [] { run_sharded_fixture_once(/*with_observer=*/false, /*cpus=*/2); }, cfg);
+  EXPECT_TRUE(r.violation) << r.summary();
+}
+
+}  // namespace
+}  // namespace mp

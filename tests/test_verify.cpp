@@ -27,11 +27,18 @@ ExecSchedulerFactory by_name(const std::string& name) {
 }
 
 // The exploration fixture: a 6-task DAG (diamond 0→{1,2}→3 plus two
-// independent tasks) on a 2-worker platform (1 CPU + 1 GPU on separate
-// memory nodes, so duplication, pop_condition and eviction paths are all
-// live). Small enough for exhaustive DFS, rich enough that the executor
-// lock actually arbitrates between the workers.
-void run_fixture_once(bool with_observer) {
+// independent tasks) on `cpus` CPU workers (RAM node) + 1 GPU worker (its
+// own node), so duplication, pop_condition and eviction paths are all live.
+// Small enough for exhaustive DFS, rich enough that the lock protocol under
+// test actually arbitrates between the workers.
+//
+// The coarse-protocol tests here pin "multiprio-coarse": the policy whose
+// POP runs naked under the engine lock, where SkipExecutorLock races two
+// workers inside the heap code. The sharded default's internal locks are
+// verified by the dedicated suite in test_sharded.cpp. cpus = 2 for the
+// lock mutations — the races they reintroduce are same-node-worker races.
+void run_fixture_once(const std::string& sched_name, bool with_observer,
+                      std::size_t cpus = 1) {
   TaskGraph g;
   const CodeletId cl = g.add_codelet("work", {ArchType::CPU, ArchType::GPU},
                                      [](const Task&, std::span<void* const>) {});
@@ -44,13 +51,14 @@ void run_fixture_once(bool with_observer) {
   g.submit(cl, {Access{d[3], AccessMode::ReadWrite}});
   g.submit(cl, {Access{d[4], AccessMode::ReadWrite}});
 
-  Platform p = test::small_platform(1, 1);
+  Platform p = test::small_platform(cpus, 1);
   PerfDatabase db = test::flat_perf();
   ThreadExecutor exec(g, p, db);
   RecordingObserver obs;
   ExecConfig cfg;
+  cfg.stall_timeout = 0.05;  // idle retries must not dominate explored runs
   if (with_observer) cfg.observer = &obs;
-  const ExecResult r = exec.run(by_name("multiprio"), cfg);
+  const ExecResult r = exec.run(by_name(sched_name), cfg);
   // Post-conditions double as oracles: under an active exploration a failed
   // MP_CHECK is reported as a violation with the schedule trace.
   MP_CHECK_MSG(r.tasks_executed == 6, "fixture must execute all 6 tasks");
@@ -77,7 +85,7 @@ TEST(VerifyExplore, UnmutatedFixtureExploresClean) {
   cfg.mode = verify::ExploreConfig::Mode::Exhaustive;
   cfg.max_schedules = 10000;
   const verify::ExploreResult r =
-      verify::explore([] { run_fixture_once(/*with_observer=*/false); }, cfg);
+      verify::explore([] { run_fixture_once("multiprio-coarse", /*with_observer=*/false); }, cfg);
   EXPECT_FALSE(r.violation) << r.summary();
   EXPECT_GT(r.schedules, 1u) << "fixture must actually branch";
   EXPECT_EQ(r.truncated, 0u);
@@ -104,7 +112,9 @@ TEST(VerifyExplore, TinyFixtureExhaustsScheduleSpace) {
         Platform p = test::small_platform(1, 1);
         PerfDatabase db = test::flat_perf();
         ThreadExecutor exec(g, p, db);
-        const ExecResult res = exec.run(by_name("multiprio"));
+        ExecConfig ecfg;
+        ecfg.stall_timeout = 0.05;
+        const ExecResult res = exec.run(by_name("multiprio-coarse"), ecfg);
         MP_CHECK(res.tasks_executed == 2);
       },
       cfg);
@@ -121,9 +131,33 @@ TEST(VerifyExplore, UnmutatedFixtureWithObserverExploresClean) {
   cfg.max_schedules = 200;
   cfg.seed = 7;
   const verify::ExploreResult r =
-      verify::explore([] { run_fixture_once(/*with_observer=*/true); }, cfg);
+      verify::explore([] { run_fixture_once("multiprio-coarse", /*with_observer=*/true); }, cfg);
   EXPECT_FALSE(r.violation) << r.summary();
   EXPECT_EQ(r.schedules, 200u);
+}
+
+// The minimal contended fixture for the exhaustive lock mutations: two
+// independent dual-arch tasks on two same-node CPU workers. Both workers'
+// pops select the same heap top, so any interleaving that runs one full pop
+// inside another's read-top→remove window trips the ScoredHeap presence
+// check. Small enough that exhaustive DFS reaches that window well inside
+// the 10k budget (the 6-task fixture's mutated space is too wide for DFS;
+// the PCT variants below keep covering it).
+void run_tiny_contended_fixture(const std::string& sched_name) {
+  TaskGraph g;
+  const CodeletId cl = g.add_codelet("work", {ArchType::CPU, ArchType::GPU},
+                                     [](const Task&, std::span<void* const>) {});
+  const DataId a = g.add_data(64);
+  const DataId b = g.add_data(64);
+  g.submit(cl, {Access{a, AccessMode::ReadWrite}});
+  g.submit(cl, {Access{b, AccessMode::ReadWrite}});
+  Platform p = test::small_platform(2, 0);
+  PerfDatabase db = test::flat_perf();
+  ThreadExecutor exec(g, p, db);
+  ExecConfig cfg;
+  cfg.stall_timeout = 0.05;
+  const ExecResult r = exec.run(by_name(sched_name), cfg);
+  MP_CHECK(r.tasks_executed == 2);
 }
 
 TEST(VerifyMutation, SkipExecutorLockIsCaughtExhaustive) {
@@ -133,7 +167,7 @@ TEST(VerifyMutation, SkipExecutorLockIsCaughtExhaustive) {
   cfg.mode = verify::ExploreConfig::Mode::Exhaustive;
   cfg.max_schedules = 10000;  // the detection budget the suite guarantees
   const verify::ExploreResult r =
-      verify::explore([] { run_fixture_once(/*with_observer=*/false); }, cfg);
+      verify::explore([] { run_tiny_contended_fixture("multiprio-coarse"); }, cfg);
   ASSERT_TRUE(r.violation)
       << "unlocked Scheduler::pop must be detected within 10k interleavings; "
       << r.summary();
@@ -148,8 +182,9 @@ TEST(VerifyMutation, SkipExecutorLockIsCaughtByPct) {
   cfg.mode = verify::ExploreConfig::Mode::Pct;
   cfg.max_schedules = 10000;
   cfg.seed = 1;
-  const verify::ExploreResult r =
-      verify::explore([] { run_fixture_once(/*with_observer=*/false); }, cfg);
+  const verify::ExploreResult r = verify::explore(
+      [] { run_fixture_once("multiprio-coarse", /*with_observer=*/false, /*cpus=*/2); },
+      cfg);
   EXPECT_TRUE(r.violation) << r.summary();
 }
 
@@ -159,8 +194,8 @@ TEST(VerifyMutation, SkipBrwDecrementIsCaught) {
   verify::ExploreConfig cfg;
   cfg.mode = verify::ExploreConfig::Mode::Exhaustive;
   cfg.max_schedules = 10000;
-  const verify::ExploreResult r =
-      verify::explore([] { run_fixture_once(/*with_observer=*/false); }, cfg);
+  const verify::ExploreResult r = verify::explore(
+      [] { run_fixture_once("multiprio-coarse", /*with_observer=*/false); }, cfg);
   ASSERT_TRUE(r.violation)
       << "an uncorrected best_remaining_work ledger must trip the brw "
       << "upper-bound invariant; " << r.summary();
@@ -175,7 +210,9 @@ TEST(VerifyExplore, PctIsDeterministicPerSeed) {
   cfg.mode = verify::ExploreConfig::Mode::Pct;
   cfg.max_schedules = 10000;
   cfg.seed = 42;
-  const auto body = [] { run_fixture_once(/*with_observer=*/false); };
+  const auto body = [] {
+    run_fixture_once("multiprio-coarse", /*with_observer=*/false, /*cpus=*/2);
+  };
   const verify::ExploreResult a = verify::explore(body, cfg);
   const verify::ExploreResult b = verify::explore(body, cfg);
   EXPECT_EQ(a.violation, b.violation);

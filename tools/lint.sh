@@ -14,6 +14,14 @@
 #      harness relies on always-on checks to turn racy corruption into caught
 #      violations instead of undefined behaviour.
 #
+#   3. Shard-lock hygiene. The per-node shard locks (`order_mu`) define the
+#      bottom of the lock hierarchy and are only deadlock-free because every
+#      multi-shard acquisition goes through AscendingShardLocks, which sorts
+#      its index set. The lock fields must not leak outside
+#      src/core/multiprio.{hpp,cpp}, every code line touching one must be
+#      tagged `// shard-lock(asc)` (forcing the author past the ordering
+#      rule), and the sort in the AscendingShardLocks constructor must stay.
+#
 # Usage: tools/lint.sh [--no-tidy]   (run from anywhere inside the repo)
 set -u
 
@@ -79,6 +87,34 @@ for hdr in src/core/*.hpp; do
     fi
   done
 done
+
+# ---- Rule 3: shard-lock hygiene ----------------------------------------------
+# 3a. `order_mu` must not appear outside the MultiPrio implementation pair.
+leaked=$(grep -rln '\border_mu\b' src/ --include='*.hpp' --include='*.cpp' \
+         | grep -vE '^src/core/multiprio\.(hpp|cpp)$' || true)
+if [[ -n "$leaked" ]]; then
+  echo "lint: shard lock order_mu referenced outside src/core/multiprio.{hpp,cpp}:"
+  echo "$leaked" | sed 's/^/      /'
+  fail=1
+fi
+# 3b. Every code line touching order_mu carries the ascending-order tag.
+# Pure comment lines are exempt (they discuss the lock, they don't take it).
+untagged=$(grep -rnE '\border_mu\b' src/core/multiprio.hpp src/core/multiprio.cpp \
+           | grep -vE ':[0-9]+:[ \t]*(//|\*)' \
+           | grep -v 'shard-lock(asc)' || true)
+if [[ -n "$untagged" ]]; then
+  echo "lint: order_mu use without the '// shard-lock(asc)' tag — all shard"
+  echo "      lock acquisitions must go through the ascending-order helpers:"
+  echo "$untagged" | sed 's/^/      /'
+  fail=1
+fi
+# 3c. The AscendingShardLocks constructor must still sort its index set.
+if ! awk '/AscendingShardLocks::AscendingShardLocks/,/^}/' src/core/multiprio.cpp \
+     | grep -q 'std::sort'; then
+  echo "lint: AscendingShardLocks constructor no longer sorts its shard set —"
+  echo "      multi-shard acquisition order is unenforced (deadlock risk)"
+  fail=1
+fi
 
 # ---- clang-tidy (best effort: skipped when unavailable) ----------------------
 if [[ "${1:-}" != "--no-tidy" ]]; then

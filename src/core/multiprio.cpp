@@ -25,6 +25,7 @@ MultiPrioScheduler::MultiPrioScheduler(SchedContext ctx, MultiPrioConfig config)
   // keep growing go through ensure_task_capacity(), which reallocates only
   // under every shard lock (pops dereference entries under theirs).
   states_ = std::vector<TaskState>(ctx_.graph->num_tasks());
+  in_kernel_ = std::vector<RelaxedAtomic<std::uint8_t>>(ctx_.platform->num_workers());
   // Resolve instrument names once; the hot paths then pay one null test.
   if (MetricsRegistry* mx = ctx_.observer ? ctx_.observer->metrics() : nullptr) {
     m_stale_discards_ = &mx->counter("multiprio.stale_discards");
@@ -131,18 +132,23 @@ void MultiPrioScheduler::notify_shard(std::size_t mi, std::size_t inserted) {
 void MultiPrioScheduler::notify_one_waiter(const std::vector<std::size_t>& eligible) {
   if (!cfg_.sharded) return;
   // A newly-pushed task is a single unit of work duplicated across shards:
-  // wake the first eligible shard where EVERY live worker is parked, and
-  // stop. A shard with any awake worker needs no futex — that worker pops
-  // the duplicate on its next loop, and a woken sibling would just lose the
-  // race and re-park (measured: one wasted futex round trip per completion).
-  // A waiter that does lose a race re-parks against the bumped epoch, so no
-  // wakeup is ever lost; a task left for busy-but-awake workers, or a
-  // diversion that becomes attractive later with no push to advertise it,
-  // is bounded by the engine's stall timeout.
+  // wake one waiter on the first eligible shard with no worker free to
+  // absorb it, and stop. A worker that is neither parked nor inside a
+  // kernel is scanning — it pops the duplicate on its next loop, and a
+  // woken sibling would just lose the race and re-park (measured: one
+  // wasted futex round trip per completion). Workers executing a kernel do
+  // NOT count as absorbers: a node whose awake workers are all busy in long
+  // kernels would otherwise leave its parked siblings asleep on runnable
+  // work for a full stall timeout. A waiter that loses a race re-parks
+  // against the bumped epoch, so no wakeup is ever lost; a diversion that
+  // becomes attractive later with no push to advertise it is still bounded
+  // by the engine's stall timeout.
   for (std::size_t mi : eligible) {
     const std::uint32_t parked = shards_[mi].waiters.load();
     if (parked == 0) continue;
-    if (parked < live_workers_of_node(ctx_, MemNodeId{mi})) continue;
+    const std::size_t live = live_workers_of_node(ctx_, MemNodeId{mi});
+    const std::uint32_t executing = shards_[mi].executing.load();
+    if (live > parked + executing) continue;  // someone is scanning
     shards_[mi].cv.notify_one();
     if (m_wakeups_ != nullptr) m_wakeups_->inc();
     return;
@@ -160,10 +166,29 @@ std::vector<std::size_t> MultiPrioScheduler::target_shards(TaskId t) const {
   return targets;  // ascending by construction
 }
 
-void MultiPrioScheduler::push_locked(TaskId t, double t_now) {
+bool MultiPrioScheduler::push_locked(TaskId t, double t_now) {
   TaskState& st = state_of(t);
   MP_CHECK_MSG(st.phase.load() != kPending, "push of an already-pending task");
   MP_ASSERT(st.phase.load() != kTaken);  // repush resets to Idle first
+
+  // Placeability first, before any live-platform judgement (best_arch_for
+  // requires a live enabled arch): if no live capable node remained by the
+  // time the shard locks were held, a fail-stop raced the engine's pre-push
+  // liveness screen (the caller's target set can only shrink — liveness
+  // never comes back). A task that no platform arch could EVER run is still
+  // a config error; a task that merely lost its last live worker is
+  // surrendered for the engine to abandon via drain_unplaced().
+  const std::vector<std::size_t> targets = target_shards(t);
+  if (targets.empty()) {
+    bool executable_anywhere = false;
+    for (std::size_t mi = 0; mi < num_shards_; ++mi)
+      if (ctx_.graph->can_exec(t, ctx_.platform->node_arch(MemNodeId{mi})))
+        executable_anywhere = true;
+    MP_CHECK_MSG(executable_anywhere, "ready task has no executable memory node");
+    st.live_mask.store(0);
+    unplaced_.push_back(t);
+    return false;
+  }
 
   const ArchType best = best_arch_for(ctx_, t);
   PushRecord& rec = st.rec;
@@ -186,7 +211,7 @@ void MultiPrioScheduler::push_locked(TaskId t, double t_now) {
   // Algorithm 1: insert into the heap of every memory node whose (live)
   // workers can execute the task, with the (gain, criticality) scores.
   std::uint64_t mask = 0;
-  for (std::size_t mi : target_shards(t)) {
+  for (std::size_t mi : targets) {
     const MemNodeId m{mi};
     const ArchType a = ctx_.platform->node_arch(m);
     MP_ASSERT(live_worker_count(ctx_, a) > 0);
@@ -220,22 +245,23 @@ void MultiPrioScheduler::push_locked(TaskId t, double t_now) {
       sample_heap_depth(m, e.time);
     }
   }
-  MP_CHECK_MSG(mask != 0, "ready task has no executable memory node");
+  MP_CHECK_MSG(mask != 0, "non-empty target set produced an empty live mask");
   st.live_mask.store(mask);
   st.phase.store(kPending);
   pending_.fetch_add(1);
+  return true;
 }
 
 void MultiPrioScheduler::push(TaskId t) {
   verify_point("multiprio.push", this);
   ensure_task_capacity(t.index() + 1);
+  MP_CHECK_MSG(t.index() < states_.size(), "push: task beyond the state table");
   const double t_now = ctx_.observer != nullptr ? obs_time() : 0.0;
   const std::vector<std::size_t> targets = target_shards(t);
-  MP_CHECK_MSG(!targets.empty(), "push: task has no executable memory node");
   std::vector<std::size_t> eligible;
   {
     AscendingShardLocks locks(*this, targets);
-    push_locked(t, t_now);
+    if (!push_locked(t, t_now)) return;  // surrendered to drain_unplaced()
     // Eligibility is judged while the record is stable (under the locks): a
     // parked worker is only worth waking if its arch could pop `t` right
     // now — pop_condition is exactly that judgement, and waking a worker it
@@ -258,22 +284,23 @@ void MultiPrioScheduler::push_batch(const std::vector<TaskId>& ts) {
   std::size_t max_index = 0;
   for (TaskId t : ts) max_index = std::max(max_index, t.index());
   ensure_task_capacity(max_index + 1);
-  std::vector<std::size_t> inserted(num_shards_, 0);
   std::vector<std::size_t> union_targets;
   for (TaskId t : ts)
-    for (std::size_t mi : target_shards(t)) {
-      union_targets.push_back(mi);
-      ++inserted[mi];
-    }
+    for (std::size_t mi : target_shards(t)) union_targets.push_back(mi);
   std::vector<std::vector<std::size_t>> eligible(ts.size());
   {
     AscendingShardLocks locks(*this, union_targets);
-    for (TaskId t : ts) push_locked(t, t_now);
-    // Same wake-eligibility judgement as push(), per task in the batch.
-    for (std::size_t i = 0; i < ts.size(); ++i)
+    std::vector<bool> placed(ts.size());
+    for (std::size_t i = 0; i < ts.size(); ++i) placed[i] = push_locked(ts[i], t_now);
+    // Same wake-eligibility judgement as push(), per task in the batch,
+    // after the whole batch is in (late pushes raise the brw ledger and can
+    // make earlier tasks diversion-eligible). Surrendered tasks never wake.
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      if (!placed[i]) continue;
       for (std::size_t mi : target_shards(ts[i]))
         if (pop_condition(ts[i], ctx_.platform->node_arch(MemNodeId{mi}), nullptr))
           eligible[i].push_back(mi);
+    }
   }
   // One wakeup per task, not per duplicate: each task is one unit of work,
   // so waking every eligible shard buys k-1 guaranteed failed pops.
@@ -481,6 +508,7 @@ void MultiPrioScheduler::repush(TaskId t) {
                "repush of a task that was never popped");
   const double t_now = ctx_.observer != nullptr ? obs_time() : 0.0;
   const std::vector<std::size_t> targets = target_shards(t);
+  bool placed = false;
   {
     // All shards, not just the new targets: take() removed the task only
     // from the heap it was popped from, so lazy stale duplicates may sit in
@@ -492,8 +520,9 @@ void MultiPrioScheduler::repush(TaskId t) {
       if (shards_[mi].heap.contains(t)) shards_[mi].heap.remove(t);
     states_[t.index()].phase.store(kIdle);
     states_[t.index()].live_mask.store(0);
-    push_locked(t, t_now);
+    placed = push_locked(t, t_now);
   }
+  if (!placed) return;  // surrendered to drain_unplaced()
   for (std::size_t mi : targets) notify_shard(mi, 1);
 }
 
@@ -502,6 +531,10 @@ std::vector<TaskId> MultiPrioScheduler::notify_worker_removed(WorkerId w) {
   MP_CHECK_MSG(w.index() < ctx_.platform->num_workers(),
                "worker-removed notification for an unknown worker");
   const MemNodeId dead = ctx_.platform->worker(w).node;
+  // The dead worker's in-kernel flag never gets an on_task_end (its task is
+  // drained and repushed by the engine); retire its executing slot so the
+  // wake heuristic doesn't count a ghost absorber forever.
+  if (in_kernel_[w.index()].exchange(0) == 1) shards_[dead.index()].executing.fetch_sub(1);
   // Stream loss: the node still has live workers, heaps and ledgers stand
   // (the pop_condition already normalizes by the live worker count).
   if (live_workers_of_node(ctx_, dead) > 0) return {};
@@ -539,12 +572,41 @@ std::vector<TaskId> MultiPrioScheduler::notify_worker_removed(WorkerId w) {
     nod_.reset();
     for (TaskId t : survivors) {
       for (std::size_t mi : target_shards(t)) ++inserted[mi];
-      push_locked(t, t_now);
+      if (!push_locked(t, t_now)) {
+        // A second fail-stop raced this rebuild and took the task's last
+        // capable worker: it is an orphan of this removal after all.
+        unplaced_.pop_back();
+        orphans.push_back(t);
+      }
     }
+    std::sort(orphans.begin(), orphans.end());  // deterministic surrender order
   }
   for (std::size_t mi = 0; mi < num_shards_; ++mi)
     notify_shard(mi, inserted[mi]);
   return orphans;
+}
+
+std::vector<TaskId> MultiPrioScheduler::drain_unplaced() {
+  MP_CHECK_MSG(num_shards_ > 0, "drain_unplaced on an unconfigured scheduler");
+  std::vector<TaskId> out;
+  out.swap(unplaced_);
+  return out;
+}
+
+void MultiPrioScheduler::on_task_start(TaskId /*t*/, WorkerId w) {
+  MP_CHECK_MSG(w.index() < in_kernel_.size(), "task start for an unknown worker");
+  // The flag makes the counter transition exactly-once: after a failed
+  // attempt the engine skips on_task_end, so the flag may still be set here
+  // (the worker counted as executing while it retried — a safe over-count
+  // that only errs toward waking a parked sibling).
+  if (in_kernel_[w.index()].exchange(1) == 0)
+    shards_[ctx_.platform->worker(w).node.index()].executing.fetch_add(1);
+}
+
+void MultiPrioScheduler::on_task_end(TaskId /*t*/, WorkerId w) {
+  MP_CHECK_MSG(w.index() < in_kernel_.size(), "task end for an unknown worker");
+  if (in_kernel_[w.index()].exchange(0) == 1)
+    shards_[ctx_.platform->worker(w).node.index()].executing.fetch_sub(1);
 }
 
 std::uint64_t MultiPrioScheduler::work_epoch(WorkerId w) const {

@@ -84,6 +84,18 @@ class MultiPrioScheduler final : public Scheduler {
   /// of every heap and lost. Tasks with no live capable worker are returned.
   [[nodiscard]] std::vector<TaskId> notify_worker_removed(WorkerId w) override;
 
+  /// Tasks surrendered because a fail-stop raced the push: by the time the
+  /// shard locks were taken no live worker could execute them (the engine's
+  /// pre-push liveness screen ran before the death). They never became
+  /// pending; the engine abandons them.
+  [[nodiscard]] std::vector<TaskId> drain_unplaced() override;
+
+  /// Lock-free per the Internal contract: maintain the per-node count of
+  /// workers inside a kernel, the signal notify_one_waiter() uses to judge
+  /// whether an awake worker can absorb new work promptly.
+  void on_task_start(TaskId t, WorkerId w) override;
+  void on_task_end(TaskId t, WorkerId w) override;
+
   [[nodiscard]] SchedConcurrency concurrency() const override {
     return cfg_.sharded ? SchedConcurrency::Internal
                         : SchedConcurrency::ExternalLock;
@@ -191,6 +203,11 @@ class MultiPrioScheduler final : public Scheduler {
     /// proves no waiter predates the new work and the futex can be skipped
     /// (an active worker pops the task on its next loop instead).
     RelaxedAtomic<std::uint32_t> waiters{0};
+    /// Workers of this node currently inside a kernel (on_task_start/end
+    /// transitions, guarded by the per-worker in-kernel flag). A worker that
+    /// is neither parked nor executing is scanning and absorbs new work
+    /// without a futex; when none exists, notify_one_waiter wakes a waiter.
+    RelaxedAtomic<std::uint32_t> executing{0};
   };
 
   // The ONLY ways scheduler code may acquire shard locks (enforced by
@@ -242,7 +259,10 @@ class MultiPrioScheduler final : public Scheduler {
   /// Algorithm 1 for one task; requires every target shard lock held (the
   /// public entry points take them). `t_now` is the precaptured event
   /// timestamp (one clock read per push/pop, outside any shard lock).
-  void push_locked(TaskId t, double t_now);
+  /// Returns false when no live capable node remained by the time the locks
+  /// were held (a racing fail-stop): the task goes to `unplaced_` instead of
+  /// any heap and the caller must not advertise it to waiters.
+  [[nodiscard]] bool push_locked(TaskId t, double t_now);
   /// Target shards of one task = live nodes whose arch can execute it.
   [[nodiscard]] std::vector<std::size_t> target_shards(TaskId t) const;
 
@@ -260,6 +280,13 @@ class MultiPrioScheduler final : public Scheduler {
   std::vector<RelaxedAtomic<std::int64_t>> ready_count_;  // per node
   std::vector<RelaxedAtomic<double>> brw_;        // best_remaining_work per node
   std::vector<TaskState> states_;                 // per task, grown on demand
+  /// Push-race casualties awaiting drain_unplaced(); push-side calls are
+  /// serialized by the engine, so no lock of its own.
+  std::vector<TaskId> unplaced_;
+  /// Per-worker in-kernel flag: owned by the worker's own thread (start/end
+  /// run on it), it makes the Shard::executing transitions exactly-once even
+  /// when a failed attempt skips on_task_end before the next on_task_start.
+  std::vector<RelaxedAtomic<std::uint8_t>> in_kernel_;
   GainTracker gain_;
   NodNormalizer nod_;
   RelaxedAtomic<std::size_t> pending_{0};

@@ -277,6 +277,7 @@ ExecResult ThreadExecutor::run(const ExecSchedulerFactory& make_scheduler,
           ++result.fault.retries;
           emit(SchedEventKind::Repush, t, w);
           sched->repush(t);
+          for (TaskId ot : sched->drain_unplaced()) abandon(ot);
         }
         ++state_version;
         cv.notify_all();
@@ -305,6 +306,7 @@ ExecResult ThreadExecutor::run(const ExecSchedulerFactory& make_scheduler,
           sched->push(nt);
         }
       }
+      for (TaskId ot : sched->drain_unplaced()) abandon(ot);
       ++completed;
       finished.fetch_add(1);
       ++state_version;
@@ -421,8 +423,21 @@ ExecResult ThreadExecutor::run(const ExecSchedulerFactory& make_scheduler,
             ++result.fault.retries;
             emit(SchedEventKind::Repush, t, w);
             lock.unlock();
-            std::lock_guard plock(push_mu);
-            sched->repush(t);
+            std::vector<TaskId> unplaced;
+            {
+              std::lock_guard plock(push_mu);
+              sched->repush(t);
+              unplaced = sched->drain_unplaced();
+            }
+            if (!unplaced.empty()) {
+              // A fail-stop raced the repush and took the last capable
+              // worker: account the surrendered tasks as abandoned.
+              {
+                std::lock_guard relock(mu);
+                for (TaskId ot : unplaced) abandon(ot);
+              }
+              if (finished.load() >= total) sched->interrupt_waiters();
+            }
           }
           continue;
         }
@@ -454,12 +469,20 @@ ExecResult ThreadExecutor::run(const ExecSchedulerFactory& make_scheduler,
         finished.fetch_add(1);
       }
       sched->on_task_end(t, w);  // lock-free per the Internal contract
+      std::vector<TaskId> unplaced;
       {
         // One grouped push per completion: the policy takes each target
         // node's lock once for the whole batch and wakes only those nodes.
         std::lock_guard plock(push_mu);
         history.record(t, arch, dur);
         sched->push_batch(to_push);
+        unplaced = sched->drain_unplaced();
+      }
+      if (!unplaced.empty()) {
+        // The liveness screen above ran before a racing fail-stop: the
+        // policy surrendered these instead of pushing them anywhere.
+        std::lock_guard lock(mu);
+        for (TaskId ot : unplaced) abandon(ot);
       }
       if (finished.load() >= total) sched->interrupt_waiters();
     }

@@ -21,34 +21,54 @@ MemoryManager::MemoryManager(const TaskGraph& graph, const Platform& platform)
   nodes_.resize(n_nodes);
   for (std::size_t i = 0; i < n_nodes; ++i)
     nodes_[i].capacity = platform.node(MemNodeId{i}).capacity_bytes;
+  chunk_storage_.resize(kMaxChunks);
+  chunk_dir_ = std::vector<RelaxedAtomic<DataState*>>(kMaxChunks);
   sync_new_handles();
 }
 
 void MemoryManager::sync_new_handles() const {
   const std::size_t total = graph_.handles().count();
-  while (data_.size() < total) {
-    const DataId id{data_.size()};
+  if (synced_count_.load() >= total) return;
+  // Growth is serialized: the engine already funnels every mutating entry
+  // point through its bookkeeping lock, and sync_mu_ makes the grow path
+  // independently safe. Chunks never move once published, and the count is
+  // released only after an entry is fully initialized, so the lock-free
+  // readers (which never call this) always see consistent state.
+  std::lock_guard<Mutex> lock(sync_mu_);
+  std::size_t n = synced_count_.load();
+  while (n < total) {
+    const DataId id{n};
     const DataHandle& h = graph_.handles().get(id);
-    DataState ds;
+    const std::size_t chunk = n >> kChunkShift;
+    MP_CHECK_MSG(chunk < kMaxChunks,
+                 "handle count exceeds the MemoryManager chunk directory "
+                 "(raise kMaxChunks)");
+    if (chunk_storage_[chunk] == nullptr) {
+      chunk_storage_[chunk] = std::make_unique<DataState[]>(kChunkSize);
+      chunk_dir_[chunk].store_release(chunk_storage_[chunk].get());
+    }
+    DataState& ds = data_state(n);
     ds.valid.store(nbit(h.home));
     ds.owner = h.home;
-    data_.push_back(std::move(ds));
     // Home copies consume space on their node (matters only for GPU-homed
     // data, which is unusual; RAM is unlimited).
     NodeState& ns = nodes_[h.home.index()];
     ns.where[id] = ns.lru.insert(ns.lru.end(), id);
     ns.used += h.bytes;
+    ++n;
+    synced_count_.store_release(n);
   }
 }
 
 bool MemoryManager::is_valid_on(DataId d, MemNodeId node) const {
-  sync_new_handles();
-  MP_ASSERT(d.index() < data_.size());
-  return (data_[d.index()].valid.load() & nbit(node)) != 0;
+  // Lock-free (scheduler POP-path) query: a handle past the published count
+  // has exactly one copy, at home — the state sync_new_handles() installs.
+  if (d.index() >= synced_count_.load_acquire())
+    return node == graph_.handles().get(d).home;
+  return (data_state(d.index()).valid.load() & nbit(node)) != 0;
 }
 
 std::size_t MemoryManager::bytes_missing(TaskId t, MemNodeId node) const {
-  sync_new_handles();
   std::size_t missing = 0;
   for (const Access& a : graph_.task(t).accesses) {
     if (!is_valid_on(a.data, node)) missing += graph_.handles().get(a.data).bytes;
@@ -57,20 +77,21 @@ std::size_t MemoryManager::bytes_missing(TaskId t, MemNodeId node) const {
 }
 
 double MemoryManager::estimated_transfer_time(TaskId t, MemNodeId node) const {
-  sync_new_handles();
+  const std::size_t synced = synced_count_.load_acquire();
   double time = 0.0;
   for (const Access& a : graph_.task(t).accesses) {
-    const DataState& ds = data_[a.data.index()];
-    if ((ds.valid.load() & nbit(node)) != 0) continue;
-    const MemNodeId src = any_valid_node(ds);
+    const std::uint64_t mask = a.data.index() < synced
+                                   ? data_state(a.data.index()).valid.load()
+                                   : nbit(graph_.handles().get(a.data).home);
+    if ((mask & nbit(node)) != 0) continue;
+    const MemNodeId src = any_valid_node(mask);
     time += platform_.transfer_time(graph_.handles().get(a.data).bytes, src, node);
   }
   return time;
 }
 
-MemNodeId MemoryManager::any_valid_node(const DataState& ds) const {
+MemNodeId MemoryManager::any_valid_node(std::uint64_t mask) const {
   // Prefer RAM as the source (cheapest single hop), else the first valid node.
-  const std::uint64_t mask = ds.valid.load();
   if ((mask & nbit(platform_.ram_node())) != 0) return platform_.ram_node();
   for (std::size_t i = 0; i < platform_.num_nodes(); ++i)
     if ((mask & nbit(i)) != 0) return MemNodeId{i};
@@ -98,7 +119,7 @@ void MemoryManager::drop_copy(DataId d, MemNodeId node) {
   const std::size_t bytes = graph_.handles().get(d).bytes;
   MP_ASSERT(ns.used >= bytes);
   ns.used -= bytes;
-  data_[d.index()].valid.fetch_and(~nbit(node));
+  data_state(d.index()).valid.fetch_and(~nbit(node));
 }
 
 bool MemoryManager::evict_until_fits(std::size_t need, MemNodeId node,
@@ -111,7 +132,7 @@ bool MemoryManager::evict_until_fits(std::size_t need, MemNodeId node,
     ++it;
     auto pin = pin_count_.find(pin_key(victim, node));
     if (pin != pin_count_.end() && pin->second > 0) continue;
-    DataState& ds = data_[victim.index()];
+    DataState& ds = data_state(victim.index());
     const std::size_t bytes = graph_.handles().get(victim).bytes;
     const bool only_copy_here = ds.valid.load() == nbit(node);
     if (only_copy_here) {
@@ -135,14 +156,14 @@ bool MemoryManager::evict_until_fits(std::size_t need, MemNodeId node,
 }
 
 void MemoryManager::make_resident(DataId d, MemNodeId node, std::vector<TransferOp>& ops) {
-  DataState& ds = data_[d.index()];
+  DataState& ds = data_state(d.index());
   if ((ds.valid.load() & nbit(node)) != 0) {
     touch(d, node);
     return;
   }
   const std::size_t bytes = graph_.handles().get(d).bytes;
   (void)evict_until_fits(bytes, node, ops);  // overflow counted, run continues
-  const MemNodeId src = any_valid_node(ds);
+  const MemNodeId src = any_valid_node(ds.valid.load());
   ops.push_back(TransferOp{d, src, node, bytes, false});
   nodes_[src.index()].bytes_out += bytes;
   nodes_[node.index()].bytes_in += bytes;
@@ -158,7 +179,7 @@ void MemoryManager::acquire_for_task(TaskId t, MemNodeId node, std::vector<Trans
       make_resident(a.data, node, ops);
     } else {
       // Write-only: no fetch needed, just allocation on the node.
-      DataState& ds = data_[a.data.index()];
+      DataState& ds = data_state(a.data.index());
       if ((ds.valid.load() & nbit(node)) == 0) {
         const std::size_t bytes = graph_.handles().get(a.data).bytes;
         (void)evict_until_fits(bytes, node, ops);
@@ -169,7 +190,7 @@ void MemoryManager::acquire_for_task(TaskId t, MemNodeId node, std::vector<Trans
     }
     if (mode_writes(a.mode)) {
       // Invalidate every other copy; this node becomes the owner.
-      DataState& ds = data_[a.data.index()];
+      DataState& ds = data_state(a.data.index());
       const std::uint64_t others = ds.valid.load() & ~nbit(node);
       for (std::size_t i = 0; i < platform_.num_nodes(); ++i) {
         if ((others & nbit(i)) == 0) continue;
@@ -183,7 +204,7 @@ void MemoryManager::acquire_for_task(TaskId t, MemNodeId node, std::vector<Trans
 
 void MemoryManager::prefetch(DataId d, MemNodeId node, std::vector<TransferOp>& ops) {
   sync_new_handles();
-  DataState& ds = data_[d.index()];
+  DataState& ds = data_state(d.index());
   if ((ds.valid.load() & nbit(node)) != 0) return;
   const std::size_t bytes = graph_.handles().get(d).bytes;
   std::vector<TransferOp> evictions;
@@ -194,7 +215,7 @@ void MemoryManager::prefetch(DataId d, MemNodeId node, std::vector<TransferOp>& 
     return;
   }
   ops.insert(ops.end(), evictions.begin(), evictions.end());
-  const MemNodeId src = any_valid_node(ds);
+  const MemNodeId src = any_valid_node(ds.valid.load());
   ops.push_back(TransferOp{d, src, node, bytes, false});
   nodes_[src.index()].bytes_out += bytes;
   nodes_[node.index()].bytes_in += bytes;
@@ -207,9 +228,10 @@ void MemoryManager::evacuate_node(MemNodeId node, std::vector<TransferOp>& ops) 
   sync_new_handles();
   const MemNodeId ram = platform_.ram_node();
   if (node == ram) return;  // RAM loss is unsurvivable and not modelled
-  for (std::size_t di = 0; di < data_.size(); ++di) {
+  const std::size_t synced = synced_count_.load();
+  for (std::size_t di = 0; di < synced; ++di) {
     const DataId d{di};
-    DataState& ds = data_[di];
+    DataState& ds = data_state(di);
     if ((ds.valid.load() & nbit(node)) == 0) continue;
     MP_ASSERT(pin_count_.find(pin_key(d, node)) == pin_count_.end());
     if (ds.valid.load() == nbit(node)) {

@@ -11,7 +11,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <list>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -88,6 +90,14 @@ class MemoryManager {
     MemNodeId owner;          // node holding the authoritative copy if dirty
   };
 
+  // Per-handle state lives in fixed-size chunks behind a directory of
+  // published pointers: growth (serialized under sync_mu_) never moves an
+  // existing DataState, so the lock-free reader paths can index entries
+  // below synced_count_ while a mutator appends new ones.
+  static constexpr std::size_t kChunkShift = 10;
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
+  static constexpr std::size_t kMaxChunks = 1024;  // 1M handles
+
   struct NodeState {
     std::size_t capacity = 0;  // 0 = unlimited
     std::size_t used = 0;
@@ -98,8 +108,19 @@ class MemoryManager {
   };
 
   /// Appends per-handle state for handles registered after construction
-  /// (STF graphs may keep growing); called by every public entry point.
+  /// (STF graphs may keep growing). Called only by the *mutating* entry
+  /// points, which the engine serializes; growth itself is additionally
+  /// guarded by sync_mu_. The lock-free query paths (is_valid_on & friends,
+  /// read from scheduler POP paths) never call this: they treat handles at
+  /// or above the published synced count as valid-at-home — exactly the
+  /// state this function would install — so they never observe growth.
   void sync_new_handles() const;
+
+  /// Indexed access into the chunked store; `i` must be below the published
+  /// synced count (readers) or the lock-held growth frontier (mutators).
+  [[nodiscard]] DataState& data_state(std::size_t i) const {
+    return chunk_dir_[i >> kChunkShift].load_acquire()[i & (kChunkSize - 1)];
+  }
 
   void make_resident(DataId d, MemNodeId node, std::vector<TransferOp>& ops);
   void touch(DataId d, MemNodeId node);
@@ -107,12 +128,20 @@ class MemoryManager {
   /// Frees at least `need` bytes on `node` by LRU eviction; returns false if
   /// pinned data prevented it.
   bool evict_until_fits(std::size_t need, MemNodeId node, std::vector<TransferOp>& ops);
-  [[nodiscard]] MemNodeId any_valid_node(const DataState& ds) const;
+  /// Preferred source node among the copies of a validity mask.
+  [[nodiscard]] MemNodeId any_valid_node(std::uint64_t valid_mask) const;
 
   const TaskGraph& graph_;
   const Platform& platform_;
-  // Mutable: lazily extended by sync_new_handles() from const queries.
-  mutable std::vector<DataState> data_;
+  /// Serializes sync_new_handles() growth (belt to the engine's own
+  /// serialization of the mutating entry points).
+  mutable Mutex sync_mu_;
+  /// Handles with initialized DataState, published with release after the
+  /// entry is fully written; readers load-acquire and fall back to
+  /// valid-at-home for anything newer.
+  mutable RelaxedAtomic<std::size_t> synced_count_;
+  mutable std::vector<std::unique_ptr<DataState[]>> chunk_storage_;  // owner; under sync_mu_
+  mutable std::vector<RelaxedAtomic<DataState*>> chunk_dir_;         // published pointers
   mutable std::vector<NodeState> nodes_;
   std::unordered_map<std::uint64_t, int> pin_count_;  // (data,node) -> pins
   std::size_t capacity_overflows_ = 0;

@@ -184,6 +184,14 @@ class Scheduler {
     return {};
   }
 
+  /// Tasks a push-side call could not place anywhere because every capable
+  /// worker died in the window between the engine's liveness screen and the
+  /// push (fail-stop racing an internally-locked push — impossible under
+  /// ExternalLock, where liveness flips and pushes share one lock). The
+  /// engine drains this after each push-side call and abandons the tasks;
+  /// they were never made pending. Same serialization contract as push().
+  [[nodiscard]] virtual std::vector<TaskId> drain_unplaced() { return {}; }
+
   /// Notifications (optional for policies that track load).
   virtual void on_task_start(TaskId /*t*/, WorkerId /*w*/) {}
   virtual void on_task_end(TaskId /*t*/, WorkerId /*w*/) {}

@@ -381,6 +381,60 @@ TEST(MultiPrioFault, StreamLossKeepsHeapsIntact) {
   EXPECT_DOUBLE_EQ(sched.best_remaining_work(gpu), brw_before);
 }
 
+TEST(MultiPrioFault, PushRacingWorkerLossSurrendersTask) {
+  // Thin-lock race window: the engine's liveness screen passed before the
+  // GPU died, and the push lands after the flip but before the dying
+  // worker's notify_worker_removed reaches push_mu. The push must not
+  // abort — it surrenders the task for the engine to abandon.
+  TaskGraph g;
+  const CodeletId gonly = g.add_codelet("gpu_only", {ArchType::GPU});
+  const DataId d = g.add_data(64);
+  const TaskId t = g.submit(gonly, {Access{d, AccessMode::ReadWrite}});
+  Platform p = test::small_platform(2, 1);
+  PerfDatabase db = test::flat_perf();
+  test::ManualContext mc(g, p, db);
+  MultiPrioScheduler sched(mc.ctx());
+
+  mc.liveness.mark_dead(gpu_worker(p));
+  sched.push(t);
+  EXPECT_EQ(sched.pending_count(), 0u);
+  EXPECT_FALSE(sched.is_pending(t));
+  const std::vector<TaskId> unplaced = sched.drain_unplaced();
+  ASSERT_EQ(unplaced.size(), 1u);
+  EXPECT_EQ(unplaced[0], t);
+  EXPECT_TRUE(sched.drain_unplaced().empty());  // drained exactly once
+  std::string why;
+  EXPECT_TRUE(sched.check_invariants(&why)) << why;
+}
+
+TEST(MultiPrioFault, PushBatchRacingWorkerLossSurrendersOnlyDoomedTasks) {
+  // A mixed release batch after the same race: the dual-arch task is placed
+  // and stays poppable on the CPUs, only the GPU-only task is surrendered.
+  TaskGraph g;
+  const CodeletId both = g.add_codelet("both", {ArchType::CPU, ArchType::GPU});
+  const CodeletId gonly = g.add_codelet("gpu_only", {ArchType::GPU});
+  const DataId d0 = g.add_data(64);
+  const DataId d1 = g.add_data(64);
+  const TaskId tb = g.submit(both, {Access{d0, AccessMode::ReadWrite}});
+  const TaskId tg = g.submit(gonly, {Access{d1, AccessMode::ReadWrite}});
+  Platform p = test::small_platform(2, 1);
+  PerfDatabase db = test::flat_perf();
+  test::ManualContext mc(g, p, db);
+  MultiPrioScheduler sched(mc.ctx());
+
+  mc.liveness.mark_dead(gpu_worker(p));
+  sched.push_batch({tb, tg});
+  EXPECT_EQ(sched.pending_count(), 1u);
+  EXPECT_TRUE(sched.is_pending(tb));
+  EXPECT_FALSE(sched.is_pending(tg));
+  const std::vector<TaskId> unplaced = sched.drain_unplaced();
+  ASSERT_EQ(unplaced.size(), 1u);
+  EXPECT_EQ(unplaced[0], tg);
+  EXPECT_EQ(sched.pop(WorkerId{std::size_t{0}}), std::optional<TaskId>(tb));
+  std::string why;
+  EXPECT_TRUE(sched.check_invariants(&why)) << why;
+}
+
 // --- stall diagnostic (max_events safety valve) ------------------------------
 
 TEST(SimFaultDeath, MaxEventsEmitsStallDiagnostic) {
